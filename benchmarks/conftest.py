@@ -1,0 +1,47 @@
+"""Shared infrastructure for the benchmark suite.
+
+Each benchmark module regenerates one of the paper's evaluation
+artifacts (DESIGN.md, per-experiment index), asserts its *shape* against
+the paper's qualitative claims, and writes the rendered table into
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+STRATEGIES = ("data-shipping", "query-shipping", "stream-sharing")
+
+
+def write_result(name: str, content: str) -> None:
+    """Persist a rendered report table as a benchmark artifact."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, name), "w", encoding="utf-8") as handle:
+        handle.write(content + "\n")
+
+
+@pytest.fixture(scope="session")
+def scenario1_runs():
+    """Scenario 1 executed under all three strategies (Figure 6)."""
+    from repro.bench import run_scenario
+    from repro.workload.scenarios import scenario_one
+
+    scenario = scenario_one()
+    return {strategy: run_scenario(scenario, strategy) for strategy in STRATEGIES}
+
+
+@pytest.fixture(scope="session")
+def scenario2_runs():
+    """Scenario 2 executed under all three strategies (Figure 7)."""
+    from repro.bench import run_scenario
+    from repro.workload.scenarios import scenario_two
+
+    scenario = scenario_two()
+    return {strategy: run_scenario(scenario, strategy) for strategy in STRATEGIES}

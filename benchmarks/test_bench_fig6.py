@@ -1,0 +1,81 @@
+"""Experiment E1/E2 — Figure 6: extended example scenario.
+
+8 super-peers, 1 data stream, 25 template queries.  Reproduced claims
+(Section 4):
+
+* query shipping causes a massive CPU peak at the stream source SP4;
+* data shipping causes much more network traffic, and relatively high
+  CPU over the whole range of super-peers (forwarding);
+* stream sharing distributes load better than query shipping, causes
+  less overall CPU than data shipping, and greatly reduces traffic.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.bench import cpu_report, traffic_report
+from repro.bench.harness import run_scenario
+from repro.workload.scenarios import scenario_one
+
+SOURCE_PEER = "SP4"
+
+
+class TestFigure6Shapes:
+    def test_query_shipping_cpu_peak_at_source(self, scenario1_runs):
+        cpu = scenario1_runs["query-shipping"].cpu_by_peer()
+        peak = max(cpu, key=cpu.get)
+        others = [v for k, v in cpu.items() if k != SOURCE_PEER]
+        assert peak == SOURCE_PEER
+        assert cpu[SOURCE_PEER] > 4 * max(others)
+
+    def test_data_shipping_spreads_cpu(self, scenario1_runs):
+        """Forwarding the full stream loads most peers noticeably."""
+        cpu = scenario1_runs["data-shipping"].cpu_by_peer()
+        loaded = [v for v in cpu.values() if v > 0.5]
+        assert len(loaded) >= 5
+
+    def test_stream_sharing_source_peak_below_query_shipping(self, scenario1_runs):
+        sharing = scenario1_runs["stream-sharing"].cpu_by_peer()[SOURCE_PEER]
+        shipping = scenario1_runs["query-shipping"].cpu_by_peer()[SOURCE_PEER]
+        assert sharing < shipping
+
+    def test_traffic_ordering(self, scenario1_runs):
+        totals = {s: r.total_traffic_mbit() for s, r in scenario1_runs.items()}
+        assert totals["stream-sharing"] < totals["query-shipping"]
+        assert totals["query-shipping"] < totals["data-shipping"]
+        # Data shipping floods: the paper shows roughly an order of
+        # magnitude over the optimized strategies.
+        assert totals["data-shipping"] > 5 * totals["stream-sharing"]
+
+    def test_per_link_sharing_never_dramatically_worse(self, scenario1_runs):
+        """Stream sharing's per-connection traffic stays below data
+        shipping on every connection."""
+        sharing = scenario1_runs["stream-sharing"].traffic_by_link_kbps()
+        shipping = scenario1_runs["data-shipping"].traffic_by_link_kbps()
+        for link, kbps in sharing.items():
+            assert kbps <= shipping[link] + 100.0
+
+    def test_all_queries_accepted(self, scenario1_runs):
+        for run in scenario1_runs.values():
+            assert run.rejected == 0
+
+    def test_deliveries_identical(self, scenario1_runs):
+        reference = scenario1_runs["data-shipping"].metrics.items_delivered
+        for run in scenario1_runs.values():
+            assert run.metrics.items_delivered == reference
+
+    def test_write_report(self, scenario1_runs):
+        write_result(
+            "fig6.txt",
+            cpu_report(scenario1_runs) + "\n\n" + traffic_report(scenario1_runs),
+        )
+
+
+@pytest.mark.parametrize("strategy", ["data-shipping", "query-shipping", "stream-sharing"])
+def test_fig6_regeneration(benchmark, strategy):
+    """Benchmark the full Figure 6 regeneration for one strategy."""
+    scenario = scenario_one()
+    run = benchmark.pedantic(
+        run_scenario, args=(scenario, strategy), rounds=1, iterations=1
+    )
+    assert run.total_traffic_mbit() > 0

@@ -1,0 +1,84 @@
+"""Experiment E3/E4 — Figure 7: 4×4 grid scenario.
+
+16 super-peers, 2 data streams, 100 template queries.  Reproduced
+claims (Section 4):
+
+* stream sharing significantly reduces network traffic at single peers
+  and overall in the network;
+* query shipping already reduces traffic via early filtering but still
+  transmits one stream per query;
+* CPU load comparable across approaches on most peers, except the
+  query-shipping peaks at the two stream source nodes.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.bench import accumulated_traffic_report, cpu_report
+from repro.bench.harness import run_scenario
+from repro.workload.scenarios import scenario_two
+
+SOURCES = ("SP0", "SP15")
+
+
+class TestFigure7Shapes:
+    def test_query_shipping_peaks_at_both_sources(self, scenario2_runs):
+        cpu = scenario2_runs["query-shipping"].cpu_by_peer()
+        ranked = sorted(cpu, key=cpu.get, reverse=True)
+        assert set(ranked[:2]) == set(SOURCES)
+
+    def test_total_traffic_ordering(self, scenario2_runs):
+        totals = {s: r.total_traffic_mbit() for s, r in scenario2_runs.items()}
+        assert totals["stream-sharing"] < totals["query-shipping"] < totals["data-shipping"]
+        assert totals["data-shipping"] > 10 * totals["stream-sharing"]
+
+    def test_sharing_reduces_traffic_at_single_peers(self, scenario2_runs):
+        """Per-peer accumulated traffic: sharing ≤ data shipping
+        everywhere, and strictly better on most peers."""
+        sharing = scenario2_runs["stream-sharing"].accumulated_mbit_by_peer()
+        shipping = scenario2_runs["data-shipping"].accumulated_mbit_by_peer()
+        strictly_better = 0
+        for peer, mbit in sharing.items():
+            assert mbit <= shipping[peer] + 1.0
+            if mbit < shipping[peer] * 0.5:
+                strictly_better += 1
+        assert strictly_better >= 10
+
+    def test_sharing_beats_query_shipping_overall(self, scenario2_runs):
+        sharing = scenario2_runs["stream-sharing"].total_traffic_mbit()
+        shipping = scenario2_runs["query-shipping"].total_traffic_mbit()
+        assert sharing < shipping
+
+    def test_cpu_comparable_on_non_source_peers(self, scenario2_runs):
+        """'CPU load is comparable to the other approaches on most peers
+        in this scenario' — sharing never exceeds data shipping's load
+        by more than a small factor off-source."""
+        sharing = scenario2_runs["stream-sharing"].cpu_by_peer()
+        shipping = scenario2_runs["data-shipping"].cpu_by_peer()
+        for peer in sharing:
+            if peer in SOURCES:
+                continue
+            assert sharing[peer] <= max(shipping[peer] * 1.5, 2.0)
+
+    def test_deliveries_identical(self, scenario2_runs):
+        reference = scenario2_runs["data-shipping"].metrics.items_delivered
+        for run in scenario2_runs.values():
+            assert run.metrics.items_delivered == reference
+
+    def test_write_report(self, scenario2_runs):
+        write_result(
+            "fig7.txt",
+            cpu_report(scenario2_runs)
+            + "\n\n"
+            + accumulated_traffic_report(scenario2_runs),
+        )
+
+
+@pytest.mark.parametrize("strategy", ["stream-sharing"])
+def test_fig7_regeneration(benchmark, strategy):
+    """Benchmark the Figure 7 regeneration (sharing strategy)."""
+    scenario = scenario_two()
+    run = benchmark.pedantic(
+        run_scenario, args=(scenario, strategy), rounds=1, iterations=1
+    )
+    assert run.accepted == 100

@@ -1,0 +1,69 @@
+"""Experiment E6 — the constrained-capacity rejection study.
+
+Section 4: peers capped at 10 % CPU and links at 1 MBit/s, scenario 2.
+Paper counts: data shipping rejects 47, query shipping 35, stream
+sharing 2 of 100 queries.  The reproduced claim is the *ordering* and
+the rough magnitudes (sharing rejects almost nothing, data shipping
+close to half).
+"""
+
+import pytest
+
+from conftest import STRATEGIES, write_result
+from repro.bench import rejection_report
+from repro.bench.harness import run_scenario
+from repro.workload.scenarios import scenario_two
+
+CONSTRAINTS = dict(
+    admission_control=True,
+    capacity_factor=0.10,
+    link_bandwidth=1_000_000.0,
+    execute=False,
+)
+
+
+@pytest.fixture(scope="module")
+def rejection_runs():
+    return {
+        strategy: run_scenario(scenario_two(), strategy, **CONSTRAINTS)
+        for strategy in STRATEGIES
+    }
+
+
+class TestRejectionShapes:
+    def test_ordering(self, rejection_runs):
+        rejected = {s: r.rejected for s, r in rejection_runs.items()}
+        assert rejected["data-shipping"] > rejected["query-shipping"]
+        assert rejected["query-shipping"] > rejected["stream-sharing"]
+
+    def test_sharing_rejects_almost_nothing(self, rejection_runs):
+        assert rejection_runs["stream-sharing"].rejected <= 10
+
+    def test_data_shipping_rejects_heavily(self, rejection_runs):
+        """The paper rejects 47/100; anything in the 30–85 band keeps
+        the claim (absolute counts depend on the synthetic item sizes)."""
+        assert 30 <= rejection_runs["data-shipping"].rejected <= 85
+
+    def test_counts_add_up(self, rejection_runs):
+        for run in rejection_runs.values():
+            assert run.accepted + run.rejected == 100
+
+    def test_rejections_do_not_pollute_state(self, rejection_runs):
+        """A rejected query must leave no streams behind."""
+        run = rejection_runs["data-shipping"]
+        installed_queries = set(run.system.deployment.queries)
+        for stream in run.system.deployment.streams.values():
+            if stream.query is not None:
+                assert stream.query in installed_queries
+
+    def test_write_report(self, rejection_runs):
+        write_result("rejection.txt", rejection_report(rejection_runs))
+
+
+def test_rejection_regeneration(benchmark):
+    """Benchmark the rejection-study regeneration."""
+    def regenerate():
+        return run_scenario(scenario_two(), "stream-sharing", **CONSTRAINTS)
+
+    run = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    assert run.accepted >= 90

@@ -1,0 +1,45 @@
+"""The constrained-capacity rejection study (paper Section 4).
+
+Peers capped at 10 % of their CPU capacity, links at 1 MBit/s — how
+many of the grid scenario's 100 queries must each strategy reject
+because no overload-free evaluation plan exists?
+
+Paper: data shipping 47, query shipping 35, stream sharing 2.
+
+Run with::
+
+    python examples/rejection_study.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench import run_scenario
+from repro.workload.scenarios import scenario_two
+
+
+def main() -> None:
+    scenario = scenario_two()
+    print("peer CPU capped at 10%, links at 1 MBit/s; 100 queries\n")
+    print(f"{'strategy':<16} {'accepted':>9} {'rejected':>9}  first rejected queries")
+    for strategy in ("data-shipping", "query-shipping", "stream-sharing"):
+        run = run_scenario(
+            scenario,
+            strategy,
+            admission_control=True,
+            capacity_factor=0.10,
+            link_bandwidth=1_000_000.0,
+            execute=False,
+        )
+        rejected = [r.query for r in run.registrations if not r.accepted]
+        print(
+            f"{strategy:<16} {run.accepted:>9} {run.rejected:>9}  "
+            f"{', '.join(rejected[:5])}{' ...' if len(rejected) > 5 else ''}"
+        )
+    print("\npaper reference: data shipping 47, query shipping 35, stream sharing 2")
+
+
+if __name__ == "__main__":
+    main()

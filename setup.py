@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e . --no-build-isolation` requires bdist_wheel; this shim
+enables the legacy `--no-use-pep517` editable path instead.  All real
+metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

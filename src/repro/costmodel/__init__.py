@@ -1,0 +1,41 @@
+"""Cost model: statistics, operator loads, C(P), latency (Section 3.2)."""
+
+from .descriptions import DEFAULT_DESCRIPTIONS, DescriptionRegistry, UdfDescription
+from .latency import DEFAULT_LATENCY_MODEL, LatencyModel
+from .load import BASE_LOADS, OperatorLoad, base_load, operator_load
+from .model import (
+    AGGREGATE_ITEM_SIZE,
+    CostModel,
+    NetworkUsage,
+    PlanEffects,
+    StreamRate,
+    estimate_stream_rate,
+)
+from .statistics import (
+    MIN_SELECTIVITY,
+    PathStatistics,
+    StatisticsCatalog,
+    StreamStatistics,
+)
+
+__all__ = [
+    "AGGREGATE_ITEM_SIZE",
+    "BASE_LOADS",
+    "CostModel",
+    "DEFAULT_DESCRIPTIONS",
+    "DEFAULT_LATENCY_MODEL",
+    "DescriptionRegistry",
+    "UdfDescription",
+    "LatencyModel",
+    "MIN_SELECTIVITY",
+    "NetworkUsage",
+    "OperatorLoad",
+    "PathStatistics",
+    "PlanEffects",
+    "StatisticsCatalog",
+    "StreamRate",
+    "StreamStatistics",
+    "base_load",
+    "estimate_stream_rate",
+    "operator_load",
+]

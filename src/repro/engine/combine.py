@@ -1,0 +1,62 @@
+"""Combining multiple input streams at post-processing (Section 2/3.3).
+
+"If a subscription references more than one input stream, each stream
+is handled individually by the subscription algorithm ... Any
+combination of input data streams as demanded by the subscription is
+performed at this peer during the final post-processing step and the
+result of this combination is not considered for reuse."
+
+The flat WXQuery fragment has no cross-stream predicates (the analyzer
+rejects joins), so the only combination a subscription can demand is
+structural: a ``return`` clause referencing bindings of several
+streams.  Over unbounded streams the natural continuous semantics is
+**latest-value combination**: the subscriber-facing result is rebuilt
+whenever any input delivers a new item, pairing it with the most recent
+item of every other input.  A result is only produced once every input
+has delivered at least one item.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..wxquery import AnalyzedQuery
+from ..xmlkit import Element
+from .restructure import Restructurer, Value
+
+
+class LatestValueCombiner:
+    """Post-processing for subscriptions over several input streams."""
+
+    def __init__(self, analyzed: AnalyzedQuery) -> None:
+        self.analyzed = analyzed
+        self._restructurer = Restructurer(analyzed)
+        self._streams = analyzed.streams()
+        if len(self._streams) < 2:
+            raise ValueError("LatestValueCombiner requires a multi-input query")
+        #: Most recent item per input stream.
+        self._latest: Dict[str, Element] = {}
+        #: Root for-variable per stream (what each delivered item binds).
+        self._roots = {
+            stream: analyzed.binding_for_stream(stream).var
+            for stream in self._streams
+        }
+
+    @property
+    def streams(self) -> List[str]:
+        return list(self._streams)
+
+    def push(self, stream: str, item: Element) -> List[Element]:
+        """Deliver one item of ``stream``; return any produced results."""
+        if stream not in self._roots:
+            raise ValueError(f"query has no input stream {stream!r}")
+        self._latest[stream] = item
+        if len(self._latest) < len(self._streams):
+            return []  # some input has not delivered yet
+        bindings: Dict[str, Value] = {}
+        for name, root_var in self._roots.items():
+            bindings[root_var] = self._latest[name]
+        return self._restructurer.build_with_bindings(bindings)
+
+    def latest(self, stream: str) -> Optional[Element]:
+        return self._latest.get(stream)

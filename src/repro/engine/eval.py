@@ -1,0 +1,46 @@
+"""Item-level evaluation helpers: path values and predicate graphs.
+
+The selection operator and the restructurer both need to resolve
+absolute paths (as used in predicate-graph node labels) against concrete
+stream items, whose root corresponds to the *item path* of the stream
+(e.g. a ``photon`` element for item path ``photons/photon``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..predicates import ZERO, PredicateGraph
+from ..xmlkit import Element, Path
+
+
+def rebase(absolute: Path, item_path: Path) -> Path:
+    """Turn an absolute path into a path relative to the item root."""
+    return absolute.relative_to(item_path)
+
+
+def item_number(item: Element, absolute: Path, item_path: Path) -> Optional[float]:
+    """Numeric value at ``absolute`` within ``item``, or ``None``."""
+    return rebase(absolute, item_path).number(item)
+
+
+def satisfies(item: Element, graph: PredicateGraph, item_path: Path) -> bool:
+    """Evaluate a conjunctive predicate graph against one item.
+
+    Every edge ``u → v`` with bound ``(c, strict)`` asserts
+    ``value(u) ≤ value(v) + c`` (strict: ``<``); the zero node has the
+    value 0.  Missing or non-numeric operands fail the predicate —
+    conjunctive semantics cannot be satisfied by absent data.
+    """
+    for (source, target), bound in graph.edges.items():
+        left = 0.0 if source == ZERO else item_number(item, source, item_path)
+        right = 0.0 if target == ZERO else item_number(item, target, item_path)
+        if left is None or right is None:
+            return False
+        limit = right + float(bound.value)
+        if bound.strict:
+            if not left < limit:
+                return False
+        elif not left <= limit:
+            return False
+    return True

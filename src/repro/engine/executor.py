@@ -1,0 +1,221 @@
+"""The measured stream execution: pump generated items through every
+installed stream of a :class:`~repro.sharing.plan.Deployment` and count
+real serialized bytes per link and real operator work per peer.
+
+This is the reproduction's stand-in for the paper's blade cluster (see
+DESIGN.md): the figures' CPU-load and network-traffic series are
+*measurements* of this simulation, while the optimizer only ever sees
+the cost model's estimates — exactly the estimate/measure split of the
+original system.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol
+
+from ..costmodel import base_load
+from ..network.topology import Network
+from ..xmlkit import Element
+
+if TYPE_CHECKING:  # avoid a runtime cycle with repro.sharing
+    from ..sharing.plan import Deployment, InstalledStream
+from .metrics import RunMetrics
+from .pipeline import Pipeline
+from .restructure import Restructurer
+
+
+class ItemGenerator(Protocol):
+    """Anything that produces stream items on a virtual clock."""
+
+    @property
+    def clock(self) -> float: ...
+
+    def next_item(self) -> Element: ...
+
+
+class ExecutionError(Exception):
+    """Raised for deployments the executor cannot run."""
+
+
+class StreamSimulator:
+    """Execute a deployment for a span of virtual time.
+
+    Parameters
+    ----------
+    net:
+        The super-peer topology (capacities, performance indices).
+    deployment:
+        The installed streams and registered queries to execute.
+    generators:
+        One :class:`ItemGenerator` per *original* stream id.
+    duration:
+        Virtual seconds of stream input to generate.
+    max_items_per_source:
+        Safety cap on generated items per source.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        deployment: "Deployment",
+        generators: Dict[str, ItemGenerator],
+        duration: float,
+        max_items_per_source: Optional[int] = None,
+    ) -> None:
+        if duration <= 0:
+            raise ExecutionError("duration must be positive")
+        self.net = net
+        self.deployment = deployment
+        self.generators = generators
+        self.duration = duration
+        self.max_items = max_items_per_source
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunMetrics:
+        metrics = RunMetrics(duration=self.duration)
+        items: Dict[str, List[Element]] = {}
+
+        for stream in self._topological_streams():
+            if stream.is_original:
+                items[stream.stream_id] = self._generate(stream, metrics)
+            else:
+                items[stream.stream_id] = self._derive(stream, items, metrics)
+            self._account_transport(stream, items[stream.stream_id], metrics)
+
+        self._postprocess(items, metrics)
+        return metrics
+
+    # ------------------------------------------------------------------
+    # Stream production
+    # ------------------------------------------------------------------
+    def _topological_streams(self) -> List["InstalledStream"]:
+        """Parents before children (original streams first)."""
+        ordered: List["InstalledStream"] = []
+        placed: set = set()
+        pending = list(self.deployment.streams.values())
+        while pending:
+            progressed = False
+            remaining: List["InstalledStream"] = []
+            for stream in pending:
+                if stream.parent_id is None or stream.parent_id in placed:
+                    ordered.append(stream)
+                    placed.add(stream.stream_id)
+                    progressed = True
+                else:
+                    remaining.append(stream)
+            if not progressed:
+                cycle = ", ".join(s.stream_id for s in remaining)
+                raise ExecutionError(f"stream dependency cycle: {cycle}")
+            pending = remaining
+        return ordered
+
+    def _generate(self, stream: "InstalledStream", metrics: RunMetrics) -> List[Element]:
+        generator = self.generators.get(stream.stream_id)
+        if generator is None:
+            raise ExecutionError(f"no generator for original stream {stream.stream_id!r}")
+        produced: List[Element] = []
+        peer = self.net.super_peer(stream.origin_node)
+        ingest = base_load("ingest") * peer.pindex
+        while generator.clock < self.duration:
+            if self.max_items is not None and len(produced) >= self.max_items:
+                break
+            produced.append(generator.next_item())
+        metrics.count_generated(stream.stream_id, len(produced))
+        metrics.add_peer_work(stream.origin_node, ingest * len(produced))
+        return produced
+
+    def _derive(
+        self,
+        stream: "InstalledStream",
+        items: Dict[str, List[Element]],
+        metrics: RunMetrics,
+    ) -> List[Element]:
+        assert stream.parent_id is not None
+        parent_items = items[stream.parent_id]
+        peer = self.net.super_peer(stream.origin_node)
+
+        # Tapping an existing stream duplicates it at the tap node.
+        duplicate = base_load("duplicate") * peer.pindex
+        metrics.add_peer_work(stream.origin_node, duplicate * len(parent_items))
+
+        if not stream.pipeline:
+            return parent_items  # pure relay: content unchanged
+
+        pipeline = Pipeline.from_specs(stream.pipeline, stream.content.item_path)
+        out: List[Element] = []
+        for item in parent_items:
+            out.extend(pipeline.process(item))
+        for operator, inputs in zip(pipeline.operators, pipeline.input_counts):
+            udf_name = getattr(getattr(operator, "spec", None), "name", None)
+            work = base_load(operator.kind, udf_name) * peer.pindex * inputs
+            metrics.add_peer_work(stream.origin_node, work)
+        return out
+
+    # ------------------------------------------------------------------
+    # Transport and delivery
+    # ------------------------------------------------------------------
+    def _account_transport(
+        self, stream: "InstalledStream", produced: List[Element], metrics: RunMetrics
+    ) -> None:
+        hops = stream.links()
+        if not hops or not produced:
+            return
+        bits_per_item = [item.serialized_size() * 8 for item in produced]
+        total_bits = float(sum(bits_per_item))
+        for a, b in hops:
+            metrics.add_link_bits(self.net.link(a, b), total_bits)
+        # Forwarding work: the sender side of every hop touches each item.
+        for sender, _ in hops:
+            peer = self.net.super_peer(sender)
+            work = base_load("transfer") * peer.pindex * len(produced)
+            metrics.add_peer_work(sender, work)
+
+    def _postprocess(self, items: Dict[str, List[Element]], metrics: RunMetrics) -> None:
+        """Run each subscription's restructuring at its super-peer."""
+        for record in self.deployment.queries.values():
+            peer = self.net.super_peer(record.subscriber_node)
+            work_per_item = base_load("restructure") * peer.pindex
+            if len(record.delivered) > 1:
+                self._postprocess_multi(record, items, metrics, work_per_item)
+                continue
+            restructurer = Restructurer(record.analyzed)
+            for _, stream_id in record.delivered:
+                delivered = items.get(stream_id, [])
+                metrics.add_peer_work(
+                    record.subscriber_node, work_per_item * len(delivered)
+                )
+                results = 0
+                for item in delivered:
+                    results += len(restructurer.build(item))
+                metrics.count_delivery(record.name, results)
+
+    def _postprocess_multi(
+        self,
+        record,
+        items: Dict[str, List[Element]],
+        metrics: RunMetrics,
+        work_per_item: float,
+    ) -> None:
+        """Multi-input combination: latest-value semantics over a
+        deterministic round-robin interleaving of the delivered streams
+        (see :class:`repro.engine.combine.LatestValueCombiner`)."""
+        from .combine import LatestValueCombiner
+
+        combiner = LatestValueCombiner(record.analyzed)
+        per_stream = [
+            (input_stream, items.get(stream_id, []))
+            for input_stream, stream_id in record.delivered
+        ]
+        total_inputs = sum(len(delivered) for _, delivered in per_stream)
+        metrics.add_peer_work(record.subscriber_node, work_per_item * total_inputs)
+        results = 0
+        index = 0
+        remaining = True
+        while remaining:
+            remaining = False
+            for input_stream, delivered in per_stream:
+                if index < len(delivered):
+                    remaining = True
+                    results += len(combiner.push(input_stream, delivered[index]))
+            index += 1
+        metrics.count_delivery(record.name, results)

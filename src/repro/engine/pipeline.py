@@ -1,0 +1,64 @@
+"""Operator pipelines: ordered operator chains with work accounting."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..properties import OperatorSpec
+from ..xmlkit import Element, Path
+from .operators import Operator, build_operator
+from .restructure import Restructurer
+
+
+class Pipeline:
+    """A chain of push operators installed at one super-peer.
+
+    ``process`` folds one input item through every stage; per-stage
+    input counts are tracked so the executor can charge each operator's
+    work exactly as the cost model defines it (base load × inputs).
+    """
+
+    def __init__(self, operators: Sequence[Operator]) -> None:
+        self.operators: List[Operator] = list(operators)
+        self.input_counts: List[int] = [0] * len(self.operators)
+
+    @classmethod
+    def from_specs(
+        cls,
+        specs: Sequence[OperatorSpec],
+        item_path: Path,
+        restructurer: Optional[Restructurer] = None,
+    ) -> "Pipeline":
+        return cls(
+            [build_operator(spec, item_path, restructurer) for spec in specs]
+        )
+
+    def process(self, item: Element) -> List[Element]:
+        batch = [item]
+        for index, operator in enumerate(self.operators):
+            self.input_counts[index] += len(batch)
+            next_batch: List[Element] = []
+            for current in batch:
+                next_batch.extend(operator.process(current))
+            batch = next_batch
+            if not batch:
+                break
+        return batch
+
+    def flush(self) -> List[Element]:
+        """Drain stage state front-to-back (explicit end-of-stream)."""
+        batch: List[Element] = []
+        for index, operator in enumerate(self.operators):
+            drained = operator.flush()
+            next_batch: List[Element] = []
+            for current in batch:
+                self.input_counts[index] += 1
+                next_batch.extend(operator.process(current))
+            batch = next_batch + drained
+        return batch
+
+    def __len__(self) -> int:
+        return len(self.operators)
+
+    def __iter__(self):
+        return iter(self.operators)

@@ -1,0 +1,27 @@
+"""The projection operator π."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List
+
+from ..xmlkit import Element, Path, prune_to_paths
+from .operators import Operator
+
+
+class ProjectOperator(Operator):
+    """Prune items to the projection's output subtrees.
+
+    Items whose retained content is empty are dropped entirely — an
+    item carrying none of the projected elements contributes nothing
+    downstream (and the paper's size formula assigns it zero payload).
+    """
+
+    kind = "projection"
+
+    def __init__(self, output_elements: FrozenSet[Path], item_path: Path) -> None:
+        self.item_path = item_path
+        self._relative = [path.relative_to(item_path) for path in output_elements]
+
+    def process(self, item: Element) -> List[Element]:
+        pruned = prune_to_paths(item, self._relative)
+        return [pruned] if pruned is not None else []

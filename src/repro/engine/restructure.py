@@ -1,0 +1,211 @@
+"""Post-processing: rebuild the subscriber-facing result structure.
+
+Restructuring — new elements, renaming, reordering, the final ``avg =
+sum/count`` computation — happens exactly once, at the super-peer of the
+subscribing thin-peer, and its output is never reused in the network
+(Section 2).  The :class:`Restructurer` evaluates the analyzed query's
+``return`` clause against each delivered stream item:
+
+* plain subscriptions: the item is a (selected, projected) input item;
+* aggregate subscriptions: the item is a partial-aggregate wire element
+  and the ``let`` variable binds to its finalized scalar;
+* window-contents subscriptions: the item is a ``<window>`` batch and
+  the ``for`` variable binds to the batch's items.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..wxquery import (
+    AnalyzedQuery,
+    Comparison,
+    DirectElement,
+    EmptyElement,
+    EnclosedExpr,
+    Expr,
+    IfExpr,
+    PathOutput,
+    SequenceExpr,
+    VarOutput,
+)
+from ..xmlkit import Element
+from .aggregate import wire_to_partial
+from .operators import EngineError, Operator
+
+#: A binding value during return-clause evaluation.
+Value = Union[Element, float, List[Element]]
+
+
+class Restructurer:
+    """Evaluate a subscription's ``return`` clause over stream items."""
+
+    def __init__(self, analyzed: AnalyzedQuery) -> None:
+        self.analyzed = analyzed
+        self._aggregations = analyzed.aggregations()
+
+    # ------------------------------------------------------------------
+    def build(self, item: Element) -> List[Element]:
+        """Produce the result elements for one delivered stream item."""
+        bindings = self._bind(item)
+        return _as_elements(self._eval(self.analyzed.flwr.return_expr, bindings))
+
+    def build_with_bindings(self, bindings: Dict[str, Value]) -> List[Element]:
+        """Evaluate the return clause under explicit variable bindings.
+
+        Used by multi-input combination
+        (:class:`repro.engine.combine.LatestValueCombiner`), which binds
+        each input stream's root variable to its latest item.
+        """
+        return _as_elements(self._eval(self.analyzed.flwr.return_expr, dict(bindings)))
+
+    def _bind(self, item: Element) -> Dict[str, Value]:
+        bindings: Dict[str, Value] = {}
+        if item.tag == "agg" and self._aggregations:
+            aggregation = self._aggregations[0]
+            partial = wire_to_partial(item, aggregation.aggregate or "avg")
+            value = partial.final(aggregation.aggregate or "avg")
+            if value is None:
+                return {}  # empty window: nothing to report
+            bindings[aggregation.var] = value
+            if aggregation.source_var is not None:
+                bindings[aggregation.source_var] = []
+            return bindings
+        for binding in self.analyzed.bindings.values():
+            if binding.kind == "for":
+                if item.tag == "window":
+                    bindings[binding.var] = list(item.children)
+                else:
+                    bindings[binding.var] = item
+        return bindings
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+    # ------------------------------------------------------------------
+    def _eval(self, expr: Expr, bindings: Dict[str, Value]) -> List[Value]:
+        if not bindings:
+            return []
+        if isinstance(expr, EmptyElement):
+            return [Element(expr.tag)]
+        if isinstance(expr, DirectElement):
+            parts: List[Value] = []
+            for piece in expr.content:
+                parts.extend(self._eval(piece, bindings))
+            return [_assemble(expr.tag, parts)]
+        if isinstance(expr, EnclosedExpr):
+            return self._eval(expr.body, bindings)
+        if isinstance(expr, SequenceExpr):
+            out: List[Value] = []
+            for piece in expr.items:
+                out.extend(self._eval(piece, bindings))
+            return out
+        if isinstance(expr, IfExpr):
+            branch = expr.then_branch if self._holds(expr.condition.atoms, bindings) else expr.else_branch
+            return self._eval(branch, bindings)
+        if isinstance(expr, PathOutput):
+            return list(self._navigate(expr.var, expr.path.steps, bindings))
+        if isinstance(expr, VarOutput):
+            value = bindings.get(expr.var)
+            if value is None:
+                raise EngineError(f"unbound variable ${expr.var} at restructuring")
+            if isinstance(value, list):
+                return [element.copy() for element in value]
+            if isinstance(value, Element):
+                return [value.copy()]
+            return [value]
+        raise EngineError(f"cannot restructure expression {expr!r}")
+
+    def _navigate(self, var: str, steps, bindings: Dict[str, Value]) -> List[Element]:
+        value = bindings.get(var)
+        if value is None:
+            raise EngineError(f"unbound variable ${var} at restructuring")
+        if isinstance(value, float):
+            raise EngineError(f"cannot navigate into scalar ${var}")
+        roots = value if isinstance(value, list) else [value]
+        found: List[Element] = []
+        for root in roots:
+            found.extend(node.copy() for node in root.find_all(steps))
+        return found
+
+    def _holds(self, atoms, bindings: Dict[str, Value]) -> bool:
+        for atom in atoms:
+            if not self._atom_holds(atom, bindings):
+                return False
+        return True
+
+    def _atom_holds(self, atom: Comparison, bindings: Dict[str, Value]) -> bool:
+        left = self._operand_value(atom.left, bindings)
+        if atom.right_operand is not None:
+            right = self._operand_value(atom.right_operand, bindings)
+        else:
+            right = 0.0
+        if left is None or right is None:
+            return False
+        limit = right + float(atom.constant)
+        return {
+            "=": left == limit,
+            "<": left < limit,
+            "<=": left <= limit,
+            ">": left > limit,
+            ">=": left >= limit,
+        }.get(atom.op, False)
+
+    def _operand_value(self, operand, bindings: Dict[str, Value]) -> Optional[float]:
+        if operand.var is None:
+            return None
+        value = bindings.get(operand.var)
+        if value is None:
+            return None
+        if isinstance(value, float):
+            return value
+        if isinstance(value, list):
+            return None
+        if operand.path.is_empty():
+            return None
+        return operand.path.number(value)
+
+
+def _assemble(tag: str, parts: List[Value]) -> Element:
+    """Build a constructed element from evaluated content pieces."""
+    elements = [part for part in parts if isinstance(part, Element)]
+    scalars = [part for part in parts if not isinstance(part, Element)]
+    if elements and scalars:
+        raise EngineError(
+            f"mixed element/scalar content in constructed <{tag}> is outside "
+            "the supported data model"
+        )
+    if elements:
+        return Element(tag, children=elements)
+    if scalars:
+        text = " ".join(_scalar_text(scalar) for scalar in scalars)
+        return Element(tag, text=text)
+    return Element(tag)
+
+
+def _scalar_text(value: Value) -> str:
+    assert isinstance(value, float)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _as_elements(values: List[Value]) -> List[Element]:
+    out: List[Element] = []
+    for value in values:
+        if isinstance(value, Element):
+            out.append(value)
+        else:
+            raise EngineError("top-level restructured output must be elements")
+    return out
+
+
+class RestructureOperator(Operator):
+    """Operator wrapper around a :class:`Restructurer`."""
+
+    kind = "restructure"
+
+    def __init__(self, restructurer: Restructurer) -> None:
+        self.restructurer = restructurer
+
+    def process(self, item: Element) -> List[Element]:
+        return self.restructurer.build(item)

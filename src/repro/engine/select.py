@@ -1,0 +1,34 @@
+"""The selection operator σ."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..predicates import PredicateGraph
+from ..xmlkit import Element, Path
+from .eval import satisfies
+from .operators import Operator
+
+
+class SelectOperator(Operator):
+    """Filter items by a conjunctive predicate graph."""
+
+    kind = "selection"
+
+    def __init__(self, graph: PredicateGraph, item_path: Path) -> None:
+        self.graph = graph
+        self.item_path = item_path
+        self.seen = 0
+        self.passed = 0
+
+    def process(self, item: Element) -> List[Element]:
+        self.seen += 1
+        if satisfies(item, self.graph, self.item_path):
+            self.passed += 1
+            return [item]
+        return []
+
+    @property
+    def observed_selectivity(self) -> float:
+        """Measured pass fraction (compare against the estimate)."""
+        return self.passed / self.seen if self.seen else 1.0

@@ -1,0 +1,87 @@
+"""User-defined operators (Algorithm 2's "unknown operators" case).
+
+The paper requires nothing of unknown operators except *determinism*:
+"the same operator applied to the same inputs must always yield the
+same result" — then two streams produced by the same operator with the
+same input vector are interchangeable.  The matching side lives in
+:class:`repro.properties.model.UdfSpec`; this module provides the
+execution side:
+
+* a process-wide :class:`UdfRegistry` mapping operator names to Python
+  callables ``(item, *parameters) -> list[item]``;
+* :class:`UdfOperator`, the pipeline stage executing a
+  :class:`~repro.properties.model.UdfSpec`.
+
+UDF streams enter the network through
+:meth:`repro.sharing.system.StreamGlobe.install_derived_stream` — the
+subscription *language* cannot express UDFs (they are outside
+Definition 2.1), matching how StreamGlobe treated them as
+administratively deployed operators.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..properties import UdfSpec
+from ..xmlkit import Element
+from .operators import EngineError, Operator
+
+#: A user-defined transform: one input item to zero or more output items.
+UdfFunction = Callable[..., List[Element]]
+
+
+class UdfRegistry:
+    """Named registry of deterministic user-defined operators."""
+
+    def __init__(self) -> None:
+        self._functions: Dict[str, UdfFunction] = {}
+
+    def register(self, name: str, function: UdfFunction) -> None:
+        """Register ``function`` under ``name``.
+
+        The function must be deterministic; the sharing algorithms rely
+        on it (Section 3.3's only requirement on unknown operators).
+        """
+        if name in self._functions:
+            raise EngineError(f"UDF {name!r} already registered")
+        self._functions[name] = function
+
+    def resolve(self, name: str) -> UdfFunction:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise EngineError(f"unknown UDF {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def names(self) -> List[str]:
+        return list(self._functions)
+
+
+#: The default process-wide registry used by the operator factory.
+DEFAULT_UDF_REGISTRY = UdfRegistry()
+
+
+class UdfOperator(Operator):
+    """Pipeline stage executing a registered user-defined operator."""
+
+    kind = "udf"
+
+    def __init__(self, spec: UdfSpec, registry: UdfRegistry = DEFAULT_UDF_REGISTRY) -> None:
+        self.spec = spec
+        self._function = registry.resolve(spec.name)
+
+    def process(self, item: Element) -> List[Element]:
+        out = self._function(item, *self.spec.parameters)
+        if not isinstance(out, list):
+            raise EngineError(
+                f"UDF {self.spec.name!r} must return a list of elements"
+            )
+        return out
+
+
+def clear_default_registry() -> None:
+    """Reset the default registry (test isolation helper)."""
+    DEFAULT_UDF_REGISTRY._functions.clear()

@@ -1,0 +1,170 @@
+"""Window machinery: the sliding windower, reorder buffering, and the
+window-contents operator.
+
+Window semantics (Section 2): a window specification ``|… ∆ step µ|``
+denotes the window sequence ``W_k = [k·µ, k·µ + ∆)`` over *positions* —
+item indices for ``count`` windows, reference-element values for
+``diff`` windows.  ``W_k`` is emitted when the first position at or
+beyond its upper boundary arrives; time-based windows with no matching
+items are emitted empty so that downstream re-aggregation sees a
+regular cadence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, List, Optional, Tuple, TypeVar
+
+from ..properties import WindowContentsSpec
+from ..xmlkit import Element, Path
+from .eval import item_number
+from .operators import EngineError, Operator
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class WindowBatch(Generic[T]):
+    """One completed window: its index, bounds, and ordered contents."""
+
+    index: int
+    start: float
+    end: float
+    contents: Tuple[T, ...]
+
+    def __len__(self) -> int:
+        return len(self.contents)
+
+
+class SlidingWindower(Generic[T]):
+    """Assign position-stamped payloads to ``[k·µ, k·µ + ∆)`` windows.
+
+    Positions must be non-decreasing (the paper requires streams sorted
+    by the reference element; see :class:`ReorderBuffer` for the fuzzy
+    relaxation).  ``add`` returns every window completed by the new
+    arrival, in order.
+    """
+
+    def __init__(self, size: float, step: float, origin: float = 0.0) -> None:
+        if size <= 0 or step <= 0:
+            raise EngineError("window size and step must be positive")
+        self.size = size
+        self.step = step
+        self.origin = origin
+        self._next_index = 0
+        self._buffer: List[Tuple[float, T]] = []
+        self._last_position: Optional[float] = None
+
+    def add(self, position: float, payload: T) -> List[WindowBatch[T]]:
+        if self._last_position is not None and position < self._last_position:
+            raise EngineError(
+                f"out-of-order position {position} after {self._last_position}; "
+                "time-based windows need a sorted reference element"
+            )
+        self._last_position = position
+        completed = self._complete_up_to(position)
+        self._buffer.append((position, payload))
+        return completed
+
+    def _complete_up_to(self, position: float) -> List[WindowBatch[T]]:
+        out: List[WindowBatch[T]] = []
+        while True:
+            start = self.origin + self._next_index * self.step
+            end = start + self.size
+            if position < end:
+                return out
+            contents = tuple(p for pos, p in self._buffer if start <= pos < end)
+            out.append(WindowBatch(self._next_index, start, end, contents))
+            self._next_index += 1
+            keep_from = self.origin + self._next_index * self.step
+            self._buffer = [(pos, p) for pos, p in self._buffer if pos >= keep_from]
+
+    def flush(self) -> List[WindowBatch[T]]:
+        """Emit the remaining partially filled windows (explicit drain)."""
+        out: List[WindowBatch[T]] = []
+        while self._buffer:
+            start = self.origin + self._next_index * self.step
+            end = start + self.size
+            contents = tuple(p for pos, p in self._buffer if start <= pos < end)
+            out.append(WindowBatch(self._next_index, start, end, contents))
+            self._next_index += 1
+            keep_from = self.origin + self._next_index * self.step
+            self._buffer = [(pos, p) for pos, p in self._buffer if pos >= keep_from]
+        return out
+
+
+class ReorderBuffer(Generic[T]):
+    """Fixed-size buffer deriving a total order from a fuzzy one.
+
+    Section 2 allows relaxing the sortedness premise of time-based
+    windows "by requiring that a fixed sized buffer is sufficient to
+    derive the total order": hold up to ``capacity`` items and release
+    the smallest-position item whenever the buffer overflows.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise EngineError("reorder buffer capacity must be at least 1")
+        self.capacity = capacity
+        self._items: List[Tuple[float, int, T]] = []
+        self._sequence = 0
+
+    def add(self, position: float, payload: T) -> List[Tuple[float, T]]:
+        """Insert; return items forced out in sorted order."""
+        self._items.append((position, self._sequence, payload))
+        self._sequence += 1
+        self._items.sort(key=lambda entry: (entry[0], entry[1]))
+        released: List[Tuple[float, T]] = []
+        while len(self._items) > self.capacity:
+            position, _, payload = self._items.pop(0)
+            released.append((position, payload))
+        return released
+
+    def flush(self) -> List[Tuple[float, T]]:
+        """Release everything, sorted."""
+        released = [(pos, payload) for pos, _, payload in self._items]
+        self._items.clear()
+        return released
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class WindowContentsOperator(Operator):
+    """Emit one ``<window>`` element per completed data window.
+
+    Used by WXQueries that bind a window and return the items
+    themselves (no aggregation).
+    """
+
+    kind = "window"
+
+    def __init__(self, spec: WindowContentsSpec, item_path: Path) -> None:
+        self.spec = spec
+        self.item_path = item_path
+        self._windower: SlidingWindower[Element] = SlidingWindower(
+            float(spec.window.size), float(spec.window.step)
+        )
+        self._count = 0
+
+    def process(self, item: Element) -> List[Element]:
+        position = self._position(item)
+        if position is None:
+            return []
+        batches = self._windower.add(position, item)
+        return [self._emit(batch) for batch in batches]
+
+    def flush(self) -> List[Element]:
+        return [self._emit(batch) for batch in self._windower.flush()]
+
+    def _position(self, item: Element) -> Optional[float]:
+        if self.spec.window.kind == "count":
+            position = float(self._count)
+            self._count += 1
+            return position
+        assert self.spec.window.reference is not None
+        return item_number(item, self.spec.window.reference, self.item_path)
+
+    @staticmethod
+    def _emit(batch: WindowBatch[Element]) -> Element:
+        return Element("window", children=[item.copy() for item in batch.contents])

@@ -1,0 +1,16 @@
+"""Stream/subscription matching (Algorithms 2 and 3 plus MatchAggregations)."""
+
+from .aggregation import functions_compatible, match_aggregations
+from .properties_match import (
+    match_properties,
+    match_stream_properties,
+    missing_operators,
+)
+
+__all__ = [
+    "functions_compatible",
+    "match_aggregations",
+    "match_properties",
+    "match_stream_properties",
+    "missing_operators",
+]

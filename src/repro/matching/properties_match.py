@@ -1,0 +1,135 @@
+"""``MatchProperties`` — Algorithm 2 of the paper.
+
+Decides whether the data stream described by properties ``p`` can be
+shared to answer (the relevant input of) a newly registered subscription
+``p'``: every operator already applied to the stream must have a
+corresponding, condition-compatible operator in the subscription —
+otherwise the stream is missing data the subscription needs.
+
+The four operator cases of Algorithm 2 are dispatched on the operator
+specs of :mod:`repro.properties.model`:
+
+* selection → :func:`repro.predicates.match_predicates` (Algorithm 3);
+* projection → output elements ``R`` ⊇ referenced elements ``R'``;
+* window-based aggregation → :func:`repro.matching.aggregation.match_aggregations`;
+* anything else (user-defined operators) → equal operator and equal
+  input vector (deterministic operators only).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..predicates import match_predicates
+from ..properties import (
+    AggregationSpec,
+    OperatorSpec,
+    ProjectionSpec,
+    Properties,
+    SelectionSpec,
+    StreamProperties,
+    UdfSpec,
+    WindowContentsSpec,
+)
+
+
+def match_properties(
+    stream: Properties, subscription: Properties, mode: str = "edgewise"
+) -> bool:
+    """Match a candidate stream against a whole subscription.
+
+    The candidate must be derived from a single original input stream
+    (multi-input results are post-processed and never reused, Section 2)
+    and the subscription must reference that stream; the per-stream
+    check is :func:`match_stream_properties`.
+    """
+    if len(stream.inputs) != 1:
+        return False
+    stream_input = stream.inputs[0]
+    for sub_input in subscription.inputs:
+        if sub_input.stream == stream_input.stream:
+            return match_stream_properties(stream_input, sub_input, mode)
+    return False
+
+
+def match_stream_properties(
+    stream: StreamProperties, subscription: StreamProperties, mode: str = "edgewise"
+) -> bool:
+    """Algorithm 2 over one input stream.
+
+    ``stream`` plays the role of ``p`` (the candidate for sharing),
+    ``subscription`` the role of ``p'`` (the new query's requirements on
+    this input).
+    """
+    # Lines 1–4: the original input streams must coincide.
+    if stream.stream != subscription.stream:
+        return False
+    if stream.item_path != subscription.item_path:
+        return False
+
+    # Lines 6–36: every operator of the stream needs a compatible
+    # counterpart in the subscription.
+    for op in stream.operators:                           # line 6
+        if not _operator_matched(op, subscription, mode):  # lines 7–31
+            return False                                   # lines 33–35
+    return True                                            # line 37
+
+
+def _operator_matched(
+    op: OperatorSpec, subscription: StreamProperties, mode: str
+) -> bool:
+    for candidate in subscription.operators:               # line 8
+        if candidate.kind != op.kind:                      # line 9 (o = o')
+            continue
+        if _conditions_compatible(op, candidate, mode):    # lines 10–30
+            return True                                    # break on match
+    return False
+
+
+def _conditions_compatible(op: OperatorSpec, other: OperatorSpec, mode: str) -> bool:
+    if isinstance(op, SelectionSpec) and isinstance(other, SelectionSpec):
+        # Lines 11–15: the subscription's predicates must imply the
+        # stream's (MatchPredicates(G, G')).
+        return match_predicates(op.graph, other.graph, mode)
+    if isinstance(op, ProjectionSpec) and isinstance(other, ProjectionSpec):
+        # Lines 16–20: R ⊇ R' — everything the subscription references
+        # must still be present in the stream.
+        return _projection_covers(op, other)
+    if isinstance(op, AggregationSpec) and isinstance(other, AggregationSpec):
+        # Lines 21–24: window-based aggregation matching.
+        from .aggregation import match_aggregations
+
+        return match_aggregations(op, other, mode)
+    if isinstance(op, WindowContentsSpec) and isinstance(other, WindowContentsSpec):
+        # Window-contents streams: the new window must be rebuildable
+        # from the reused one (same arithmetic as aggregate windows).
+        return other.window.shareable_from(op.window)
+    if isinstance(op, UdfSpec) and isinstance(other, UdfSpec):
+        # Lines 25–30: unknown deterministic operators — equal operator
+        # and equal input vector.
+        return op.name == other.name and op.parameters == other.parameters
+    return False
+
+
+def _projection_covers(stream_op: ProjectionSpec, sub_op: ProjectionSpec) -> bool:
+    """``R ⊇ R'`` with subtree semantics.
+
+    A referenced path is covered when it lies inside (or equals) some
+    output subtree of the stream — outputting ``coord/cel`` keeps
+    ``coord/cel/ra`` available.
+    """
+    for needed in sub_op.referenced_elements:
+        if not any(needed.starts_with(out) for out in stream_op.output_elements):
+            return False
+    return True
+
+
+def missing_operators(
+    stream: StreamProperties, subscription: StreamProperties
+) -> Optional[list]:
+    """Diagnostic helper: subscription operators with no stream
+    counterpart of the same kind (useful in optimizer traces/tests)."""
+    if stream.stream != subscription.stream:
+        return None
+    present = {op.kind for op in stream.operators}
+    return [op for op in subscription.operators if op.kind not in present]

@@ -1,0 +1,35 @@
+"""Super-peer P2P network substrate (Section 1, [3])."""
+
+from .routing import (
+    NoRouteError,
+    all_distances,
+    eccentricity,
+    hop_distance,
+    path_links,
+    shortest_path,
+)
+from .topology import (
+    Link,
+    Network,
+    SuperPeer,
+    ThinPeer,
+    TopologyError,
+    example_topology,
+    grid_topology,
+)
+
+__all__ = [
+    "Link",
+    "Network",
+    "NoRouteError",
+    "SuperPeer",
+    "ThinPeer",
+    "TopologyError",
+    "all_distances",
+    "eccentricity",
+    "example_topology",
+    "grid_topology",
+    "hop_distance",
+    "path_links",
+    "shortest_path",
+]

@@ -1,0 +1,84 @@
+"""Shortest-path routing over the super-peer backbone.
+
+All three strategies in the paper route streams along shortest paths in
+hop count (Section 4: "using a shortest path in the network").  The
+backbone links all have the same nominal bandwidth, so plain
+breadth-first search is exact; ties are broken deterministically by
+visiting neighbors in insertion order, which keeps every benchmark run
+reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .topology import Link, Network, TopologyError
+
+
+class NoRouteError(TopologyError):
+    """Raised when no path exists between two super-peers."""
+
+
+def shortest_path(net: Network, source: str, target: str) -> List[str]:
+    """Shortest node sequence from ``source`` to ``target`` (inclusive).
+
+    Raises :class:`NoRouteError` when the nodes are disconnected.
+    """
+    if source not in net or target not in net:
+        raise TopologyError(f"unknown endpoint: {source!r} or {target!r}")
+    if source == target:
+        return [source]
+    parents: Dict[str, str] = {}
+    queue = deque([source])
+    seen = {source}
+    while queue:
+        node = queue.popleft()
+        for neighbor in net.neighbors(node):
+            if neighbor in seen:
+                continue
+            parents[neighbor] = node
+            if neighbor == target:
+                return _reconstruct(parents, source, target)
+            seen.add(neighbor)
+            queue.append(neighbor)
+    raise NoRouteError(f"no route from {source} to {target}")
+
+
+def _reconstruct(parents: Dict[str, str], source: str, target: str) -> List[str]:
+    path = [target]
+    while path[-1] != source:
+        path.append(parents[path[-1]])
+    path.reverse()
+    return path
+
+
+def hop_distance(net: Network, source: str, target: str) -> int:
+    """Number of links on the shortest path between two super-peers."""
+    return len(shortest_path(net, source, target)) - 1
+
+
+def path_links(net: Network, path: Sequence[str]) -> List[Link]:
+    """The links traversed by a node sequence."""
+    return [net.link(a, b) for a, b in zip(path, path[1:])]
+
+
+def all_distances(net: Network, source: str) -> Dict[str, int]:
+    """Hop distance from ``source`` to every reachable super-peer."""
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in net.neighbors(node):
+            if neighbor not in distances:
+                distances[neighbor] = distances[node] + 1
+                queue.append(neighbor)
+    return distances
+
+
+def eccentricity(net: Network, source: str) -> int:
+    """Largest hop distance from ``source`` to any super-peer."""
+    distances = all_distances(net, source)
+    if len(distances) != len(net):
+        raise NoRouteError(f"{source} cannot reach the whole backbone")
+    return max(distances.values())

@@ -1,0 +1,162 @@
+"""Extraction of properties from analyzed WXQuery subscriptions.
+
+This is the construction step performed once per subscription during
+registration (Section 3.3): normalize the predicates, build and minimize
+the predicate graphs (rejecting unsatisfiable subscriptions), collect
+the projection element sets, and record window/aggregation conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..predicates import (
+    NormalizedAtom,
+    PredicateGraph,
+    graph_from_atoms,
+    normalize_atom,
+    normalize_comparison,
+)
+from ..wxquery import AnalyzedQuery, Binding, Query, analyze
+from ..wxquery.errors import AnalysisError
+from ..xmlkit import Path
+from .model import (
+    RESULT_NODE,
+    AggregationSpec,
+    OperatorSpec,
+    ProjectionSpec,
+    Properties,
+    SelectionSpec,
+    StreamProperties,
+    WindowContentsSpec,
+)
+from .windows import WindowSpec
+
+
+def extract_properties(query: Query, name: str) -> Properties:
+    """Analyze ``query`` and build its :class:`Properties`.
+
+    Raises
+    ------
+    AnalysisError
+        When the query violates the flat fragment.
+    UnsatisfiableError
+        When a selection predicate can never hold — the paper rejects
+        such subscriptions outright.
+    """
+    return extract_from_analysis(analyze(query), name)
+
+
+def extract_from_analysis(analyzed: AnalyzedQuery, name: str) -> Properties:
+    """Build :class:`Properties` from an already-analyzed query."""
+    inputs: List[StreamProperties] = []
+    for stream in analyzed.streams():
+        inputs.append(_input_properties(analyzed, stream))
+    if not inputs:
+        raise AnalysisError(f"subscription {name!r} references no input stream")
+    return Properties(name=name, inputs=tuple(inputs))
+
+
+def _input_properties(analyzed: AnalyzedQuery, stream: str) -> StreamProperties:
+    root_binding = analyzed.binding_for_stream(stream)
+    item_path = root_binding.absolute_path
+
+    operators: List[OperatorSpec] = []
+
+    selection_graph = _selection_graph(analyzed, stream)
+    if not selection_graph.is_empty():
+        operators.append(SelectionSpec(selection_graph))
+
+    aggregation = _aggregation_spec(analyzed, stream, selection_graph)
+    if aggregation is not None:
+        # Aggregation queries carry [σ, Φ]: the result stream consists
+        # of aggregate values, so no projection operator appears in the
+        # properties (reuse compatibility of the inputs is checked by
+        # MatchAggregations via the identical pre-selection and the
+        # aggregated element, Section 3.3).
+        operators.append(aggregation)
+        return StreamProperties(
+            stream=stream, item_path=item_path, operators=tuple(operators)
+        )
+
+    projection = _projection_spec(analyzed, stream, item_path)
+    if projection is not None:
+        operators.append(projection)
+
+    if root_binding.window is not None:
+        # A window without aggregation: the result is window contents.
+        operators.append(
+            WindowContentsSpec(WindowSpec.from_clause(root_binding.window, item_path))
+        )
+
+    return StreamProperties(stream=stream, item_path=item_path, operators=tuple(operators))
+
+
+def _selection_graph(analyzed: AnalyzedQuery, stream: str) -> PredicateGraph:
+    atoms: List[NormalizedAtom] = []
+    for resolved in analyzed.selection:
+        if resolved.left_binding.stream != stream:
+            continue
+        atoms.extend(
+            normalize_atom(resolved.atom, resolved.left_path, resolved.right_path)
+        )
+    if not atoms:
+        return PredicateGraph()
+    return graph_from_atoms(atoms)
+
+
+def _projection_spec(
+    analyzed: AnalyzedQuery, stream: str, item_path: Path
+) -> Optional[ProjectionSpec]:
+    referenced = set(analyzed.referenced_paths.get(stream, set()))
+    outputs = set(analyzed.output_paths.get(stream, set()))
+    root_binding = analyzed.binding_for_stream(stream)
+    if root_binding.window is not None and root_binding.window.reference is not None:
+        reference = Path(item_path.steps + root_binding.window.reference.steps)
+        referenced.add(reference)
+        outputs.add(reference)
+    if not referenced:
+        return None
+    if any(item_path.starts_with(path) for path in outputs):
+        # The whole item is output; no projection takes place.
+        return None
+    return ProjectionSpec(
+        output_elements=frozenset(outputs),
+        referenced_elements=frozenset(referenced),
+    )
+
+
+def _aggregation_spec(
+    analyzed: AnalyzedQuery, stream: str, selection_graph: PredicateGraph
+) -> Optional[AggregationSpec]:
+    aggregations = [b for b in analyzed.aggregations() if b.stream == stream]
+    if not aggregations:
+        return None
+    if len(aggregations) > 1:
+        raise AnalysisError(
+            "multiple aggregations over one stream are outside the flat fragment"
+        )
+    binding = aggregations[0]
+    assert binding.window is not None and binding.aggregate is not None
+    root_binding = analyzed.binding_for_stream(stream)
+    window = WindowSpec.from_clause(binding.window, root_binding.absolute_path)
+    result_filter = _result_filter(analyzed, binding)
+    return AggregationSpec(
+        function=binding.aggregate,
+        aggregated_path=binding.absolute_path,
+        window=window,
+        pre_selection=selection_graph,
+        result_filter=result_filter,
+    )
+
+
+def _result_filter(analyzed: AnalyzedQuery, binding: Binding) -> PredicateGraph:
+    atoms: List[NormalizedAtom] = []
+    for resolved in analyzed.aggregate_filters:
+        if resolved.left_binding.var != binding.var:
+            continue
+        atom = resolved.atom
+        atoms.extend(normalize_comparison(RESULT_NODE, atom.op, None, atom.constant))
+    if not atoms:
+        return PredicateGraph()
+    return graph_from_atoms(atoms)

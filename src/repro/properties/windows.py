@@ -1,0 +1,79 @@
+"""Data window specifications inside properties (Sections 2 and 3.3).
+
+A :class:`WindowSpec` is the properties-level record of a data window:
+window type (``count`` or ``diff``), the ordered reference element for
+time-based windows (as an *absolute* path), the window size ∆ and the
+step size µ.  The shareability arithmetic of ``MatchAggregations``
+(Section 3.3, Figure 5) lives here:
+
+* ``∆' mod ∆ = 0`` — a whole number of reused windows fits one new one;
+* ``∆ mod µ = 0`` — the reused windows can tile the input seamlessly;
+* ``µ' mod µ = 0`` — a reused value is available at every new update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+from ..wxquery.ast import WindowClause, fraction_to_literal
+from ..xmlkit import Path
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A normalized data window: ``kind``, reference, ∆, and µ."""
+
+    kind: str  # "count" | "diff"
+    size: Fraction
+    step: Fraction
+    reference: Optional[Path] = None  # absolute path; time-based only
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("count", "diff"):
+            raise ValueError(f"unknown window kind {self.kind!r}")
+        if self.size <= 0 or self.step <= 0:
+            raise ValueError("window size and step must be positive")
+        if (self.kind == "diff") != (self.reference is not None):
+            raise ValueError("exactly time-based windows carry a reference element")
+
+    @classmethod
+    def from_clause(cls, clause: WindowClause, item_path: Path) -> "WindowSpec":
+        """Build from a parsed window, absolutizing the reference path."""
+        reference = None
+        if clause.reference is not None:
+            reference = Path(item_path.steps + clause.reference.steps)
+        return cls(clause.kind, clause.size, clause.effective_step, reference)
+
+    # ------------------------------------------------------------------
+    # Shareability (MatchAggregations window conditions)
+    # ------------------------------------------------------------------
+    def shareable_from(self, reused: "WindowSpec") -> bool:
+        """``True`` iff windows of ``reused`` can rebuild this window.
+
+        ``self`` is the *new* subscription's window (∆', µ'); ``reused``
+        is the window of the stream considered for reuse (∆, µ).
+        """
+        if self.kind != reused.kind:
+            return False
+        if self.kind == "diff" and self.reference != reused.reference:
+            return False
+        return (
+            self.size % reused.size == 0
+            and reused.size % reused.step == 0
+            and self.step % reused.step == 0
+        )
+
+    def windows_per_new_window(self, reused: "WindowSpec") -> int:
+        """How many non-overlapping reused windows tile one new window."""
+        if not self.shareable_from(reused):
+            raise ValueError(f"{self} is not shareable from {reused}")
+        return int(self.size / reused.size)
+
+    def __str__(self) -> str:
+        head = "count" if self.kind == "count" else f"{self.reference} diff"
+        return (
+            f"|{head} {fraction_to_literal(self.size)} "
+            f"step {fraction_to_literal(self.step)}|"
+        )

@@ -1,0 +1,47 @@
+"""Data stream sharing: plans, Algorithm 1, strategies, the facade."""
+
+from .plan import (
+    Deployment,
+    EvaluationPlan,
+    InputPlan,
+    InstalledStream,
+    RegisteredQuery,
+)
+from .planner import Planner, PlanningError, derive_compensation
+from .strategies import STRATEGIES, StrategyRegistrar
+from .subscribe import RegistrationResult, Subscriber
+from .system import StreamGlobe
+from .deregister import Deregistrar, DeregistrationError, live_stream_ids
+from .explain import explain_deployment, explain_registration
+from .export import deployment_to_dict, deployment_to_json
+from .validate import DeploymentInvariantError, check_deployment, validate_deployment
+from .widening import WideningAction, WideningPlanner, widen_content
+
+__all__ = [
+    "Deployment",
+    "EvaluationPlan",
+    "InputPlan",
+    "InstalledStream",
+    "Planner",
+    "PlanningError",
+    "RegisteredQuery",
+    "RegistrationResult",
+    "STRATEGIES",
+    "StrategyRegistrar",
+    "StreamGlobe",
+    "Subscriber",
+    "WideningAction",
+    "WideningPlanner",
+    "Deregistrar",
+    "DeregistrationError",
+    "DeploymentInvariantError",
+    "check_deployment",
+    "deployment_to_dict",
+    "deployment_to_json",
+    "derive_compensation",
+    "explain_deployment",
+    "explain_registration",
+    "live_stream_ids",
+    "validate_deployment",
+    "widen_content",
+]

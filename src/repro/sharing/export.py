@@ -1,0 +1,121 @@
+"""Structured export of deployment state.
+
+``deployment_to_dict`` renders the complete network state — streams,
+derivations, operator conditions, subscriptions, resource commitments —
+as plain JSON-compatible dictionaries, for dashboards, golden tests,
+and offline analysis.  The export is self-contained text: predicate
+graphs and windows are rendered in the same notation the paper uses.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..properties import (
+    AggregationSpec,
+    OperatorSpec,
+    ProjectionSpec,
+    ReAggregationSpec,
+    RestructureSpec,
+    SelectionSpec,
+    StreamProperties,
+    UdfSpec,
+    WindowContentsSpec,
+)
+from .plan import Deployment, InstalledStream
+
+
+def operator_to_dict(spec: OperatorSpec) -> Dict[str, Any]:
+    """One operator spec as a JSON-compatible dict."""
+    if isinstance(spec, SelectionSpec):
+        return {"kind": "selection", "predicate": spec.graph.describe()}
+    if isinstance(spec, ProjectionSpec):
+        return {
+            "kind": "projection",
+            "outputs": sorted(str(p) for p in spec.output_elements),
+            "referenced": sorted(str(p) for p in spec.referenced_elements),
+        }
+    if isinstance(spec, AggregationSpec):
+        return {
+            "kind": "aggregation",
+            "function": spec.function,
+            "element": str(spec.aggregated_path),
+            "window": str(spec.window),
+            "pre_selection": spec.pre_selection.describe(),
+            "result_filter": spec.result_filter.describe(),
+        }
+    if isinstance(spec, ReAggregationSpec):
+        return {
+            "kind": "reaggregation",
+            "reused_window": str(spec.reused.window),
+            "new_window": str(spec.new.window),
+            "function": spec.new.function,
+        }
+    if isinstance(spec, WindowContentsSpec):
+        return {"kind": "window", "window": str(spec.window)}
+    if isinstance(spec, UdfSpec):
+        return {"kind": "udf", "name": spec.name, "parameters": list(spec.parameters)}
+    if isinstance(spec, RestructureSpec):
+        return {"kind": "restructure", "query": spec.query_name}
+    return {"kind": spec.kind}
+
+
+def content_to_dict(content: StreamProperties) -> Dict[str, Any]:
+    return {
+        "input_stream": content.stream,
+        "item_path": str(content.item_path),
+        "operators": [operator_to_dict(op) for op in content.operators],
+    }
+
+
+def stream_to_dict(stream: InstalledStream) -> Dict[str, Any]:
+    return {
+        "id": stream.stream_id,
+        "origin": stream.origin_node,
+        "route": list(stream.route),
+        "parent": stream.parent_id,
+        "query": stream.query,
+        "pipeline": [operator_to_dict(op) for op in stream.pipeline],
+        "content": content_to_dict(stream.content),
+    }
+
+
+def deployment_to_dict(deployment: Deployment) -> Dict[str, Any]:
+    """The whole deployment as a JSON-compatible dict."""
+    return {
+        "super_peers": [
+            {
+                "name": peer.name,
+                "capacity": peer.capacity,
+                "pindex": peer.pindex,
+                "used_load_fraction": deployment.usage.used_load_fraction(peer.name),
+            }
+            for peer in deployment.net.super_peers()
+        ],
+        "links": [
+            {
+                "ends": list(link.ends),
+                "bandwidth": link.bandwidth,
+                "used_bandwidth_fraction": deployment.usage.used_bandwidth_fraction(link),
+            }
+            for link in deployment.net.links()
+        ],
+        "streams": [stream_to_dict(s) for s in deployment.streams.values()],
+        "subscriptions": [
+            {
+                "name": record.name,
+                "subscriber": record.subscriber_node,
+                "delivered": [
+                    {"input": input_stream, "stream": stream_id}
+                    for input_stream, stream_id in record.delivered
+                ],
+            }
+            for record in deployment.queries.values()
+        ],
+    }
+
+
+def deployment_to_json(deployment: Deployment, indent: int = 2) -> str:
+    """Serialize the deployment as JSON text."""
+    return json.dumps(deployment_to_dict(deployment), indent=indent, sort_keys=True)

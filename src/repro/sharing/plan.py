@@ -1,0 +1,219 @@
+"""Evaluation plans and the deployed-network state.
+
+An *evaluation plan* ``P`` (Section 3.3) names the operators to install,
+the peers to install them on, and the additional data streams to route.
+A plan for one input stream of a subscription consists of:
+
+* the reused stream and the node where it is tapped (duplicated);
+* an optional *relay* stream shipping the reused content unmodified from
+  the tap node to the processing node;
+* the *delivered* stream: the compensation pipeline's output, routed to
+  the subscriber's super-peer.
+
+:class:`Deployment` is the persistent network state the incremental
+registration algorithm works against: every installed stream, which
+super-peers it is available at (every node on its route), the
+subscriptions served, and the estimated resource usage underlying
+``a_b``/``a_l`` in the cost function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..costmodel import NetworkUsage, PlanEffects
+from ..network.topology import Network
+from ..properties import OperatorSpec, Properties, StreamProperties
+from ..wxquery import AnalyzedQuery
+
+
+@dataclass(frozen=True)
+class InstalledStream:
+    """One data stream flowing in the network.
+
+    Attributes
+    ----------
+    stream_id:
+        Unique identifier (e.g. ``"photons"`` or ``"Q7:photons"``).
+    content:
+        What the stream contains, as :class:`StreamProperties` relative
+        to its original input stream — this is what Algorithm 2 matches.
+    origin_node:
+        Super-peer where the stream is produced (where ``pipeline``
+        runs; for an original stream, the source's home super-peer).
+    route:
+        Node sequence from origin to the delivery target (inclusive);
+        the stream is *available* for sharing at every node on it.
+    parent_id:
+        The stream this one is derived from (``None`` for originals).
+    pipeline:
+        Compensation operator specs executed at ``origin_node`` to turn
+        the parent's items into this stream's items (empty for originals
+        and pure relay streams).
+    query:
+        Name of the subscription this stream was created for (``None``
+        for original source streams).
+    """
+
+    stream_id: str
+    content: StreamProperties
+    origin_node: str
+    route: Tuple[str, ...]
+    parent_id: Optional[str] = None
+    pipeline: Tuple[OperatorSpec, ...] = ()
+    query: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.route:
+            raise ValueError(f"stream {self.stream_id}: empty route")
+        if self.route[0] != self.origin_node:
+            raise ValueError(
+                f"stream {self.stream_id}: route must start at the origin node"
+            )
+
+    @property
+    def target_node(self) -> str:
+        return self.route[-1]
+
+    @property
+    def is_original(self) -> bool:
+        return self.parent_id is None
+
+    def links(self) -> List[Tuple[str, str]]:
+        return list(zip(self.route, self.route[1:]))
+
+
+@dataclass(frozen=True)
+class RegisteredQuery:
+    """A subscription installed in the network."""
+
+    name: str
+    properties: Properties
+    analyzed: AnalyzedQuery
+    subscriber_node: str
+    #: Per input stream: the delivered stream's id.
+    delivered: Tuple[Tuple[str, str], ...]  # (input stream name, stream_id)
+
+
+@dataclass
+class InputPlan:
+    """The chosen plan ``P_s`` for one input stream of a subscription.
+
+    ``widening`` is set when the plan reuses a stream only after
+    *widening* it (the Section 6 enhancement, see
+    :mod:`repro.sharing.widening`); its delta effects are folded into
+    the evaluation plan's combined effects.
+    """
+
+    input_stream: str
+    reused_id: str
+    tap_node: str
+    placement_node: str
+    relay: Optional[InstalledStream]
+    delivered: InstalledStream
+    effects: PlanEffects
+    cost: float
+    widening: Optional[object] = None  # WideningAction (import-cycle-free)
+
+    def new_streams(self) -> List[InstalledStream]:
+        streams = [] if self.relay is None else [self.relay]
+        streams.append(self.delivered)
+        return streams
+
+
+@dataclass
+class EvaluationPlan:
+    """The overall plan ``P`` for a subscription (one entry per input)."""
+
+    query: str
+    inputs: List[InputPlan] = field(default_factory=list)
+    #: Search telemetry feeding the registration latency model.
+    visited_nodes: int = 0
+    candidate_matches: int = 0
+
+    def total_cost(self) -> float:
+        return sum(plan.cost for plan in self.inputs)
+
+    def combined_effects(self) -> PlanEffects:
+        effects = PlanEffects()
+        for plan in self.inputs:
+            effects.merge(plan.effects)
+            if plan.widening is not None:
+                effects.merge(plan.widening.effects)  # type: ignore[attr-defined]
+        return effects
+
+    def installed_operator_count(self) -> int:
+        count = 0
+        for plan in self.inputs:
+            count += len(plan.delivered.pipeline)
+            if plan.relay is not None:
+                count += len(plan.relay.pipeline)
+        return count + 1  # the restructuring step at the subscriber
+
+    def route_hop_count(self) -> int:
+        hops = 0
+        for plan in self.inputs:
+            hops += len(plan.delivered.route) - 1
+            if plan.relay is not None:
+                hops += len(plan.relay.route) - 1
+        return hops
+
+
+class Deployment:
+    """The incrementally evolving state of the stream network."""
+
+    def __init__(self, net: Network) -> None:
+        self.net = net
+        self.streams: Dict[str, InstalledStream] = {}
+        self.queries: Dict[str, RegisteredQuery] = {}
+        self.usage = NetworkUsage(net)
+        self._available: Dict[str, List[str]] = {name: [] for name in net}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def install_stream(self, stream: InstalledStream) -> None:
+        if stream.stream_id in self.streams:
+            raise ValueError(f"stream {stream.stream_id!r} already installed")
+        if stream.parent_id is not None and stream.parent_id not in self.streams:
+            raise ValueError(
+                f"stream {stream.stream_id!r}: unknown parent {stream.parent_id!r}"
+            )
+        self.streams[stream.stream_id] = stream
+        for node in stream.route:
+            self._available[node].append(stream.stream_id)
+
+    def register_query(self, record: RegisteredQuery) -> None:
+        if record.name in self.queries:
+            raise ValueError(f"query {record.name!r} already registered")
+        self.queries[record.name] = record
+
+    def commit_effects(self, effects: PlanEffects) -> None:
+        """Fold a plan's estimated usage into the persistent state."""
+        for link, bits in effects.link_bits.items():
+            self.usage.add_link_traffic(link, bits)
+        for peer, work in effects.peer_work.items():
+            self.usage.add_peer_work(peer, work)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def streams_at(self, node: str) -> List[InstalledStream]:
+        """Streams available for sharing at ``node`` (on their route)."""
+        return [self.streams[stream_id] for stream_id in self._available[node]]
+
+    def original_streams(self) -> List[InstalledStream]:
+        return [s for s in self.streams.values() if s.is_original]
+
+    def stream(self, stream_id: str) -> InstalledStream:
+        try:
+            return self.streams[stream_id]
+        except KeyError:
+            raise KeyError(f"unknown stream {stream_id!r}") from None
+
+    def find_original(self, stream_name: str) -> InstalledStream:
+        for stream in self.original_streams():
+            if stream.stream_id == stream_name:
+                return stream
+        raise KeyError(f"no original stream named {stream_name!r} is registered")

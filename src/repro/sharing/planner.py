@@ -1,0 +1,273 @@
+"""Plan generation: compensation pipelines, effect estimation, costing.
+
+``generatePlan`` in Algorithm 1 turns "reuse stream *p* at node *v* for
+the query registered at *v_q*" into a concrete evaluation plan.  This
+module implements it in three parts:
+
+* :func:`derive_compensation` — the operator specs that transform the
+  reused stream's content into the subscription's required content;
+* :class:`Planner.plans_for_candidate` — concrete plan variants.  The
+  compensation can run at the tap node (in-network processing — the
+  paper's stream-sharing placement, cf. Query 1 computed at SP4) or at
+  the subscriber's super-peer (the shape of Algorithm 1's *initial*
+  plan, which ships the stream first).  Both variants are generated and
+  the cost function chooses — a documented, cost-neutral generalization;
+* effect estimation — the added traffic per link and operator load per
+  peer, from the cost model's ``size(p)``/``freq(p)`` estimates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..costmodel import (
+    CostModel,
+    LatencyModel,
+    PlanEffects,
+    StatisticsCatalog,
+    base_load,
+    estimate_stream_rate,
+)
+from ..network.routing import shortest_path
+from ..network.topology import Network
+from ..properties import (
+    AggregationSpec,
+    OperatorSpec,
+    ProjectionSpec,
+    ReAggregationSpec,
+    SelectionSpec,
+    StreamProperties,
+    WindowContentsSpec,
+)
+from .plan import Deployment, InputPlan, InstalledStream
+
+
+class PlanningError(Exception):
+    """Raised when no valid plan can be constructed."""
+
+
+def derive_compensation(
+    reused: StreamProperties, subscription: StreamProperties
+) -> Tuple[OperatorSpec, ...]:
+    """Operators that turn ``reused`` content into ``subscription`` content.
+
+    Assumes the two already matched via Algorithm 2 (the reused stream
+    is a superset of what the subscription needs).  Returns an empty
+    tuple for exact reuse.
+    """
+    reused_agg = reused.aggregation
+    sub_agg = subscription.aggregation
+
+    if reused_agg is not None:
+        if sub_agg is None:
+            raise PlanningError(
+                "an aggregate stream cannot serve an item-level subscription"
+            )
+        if reused_agg == sub_agg:
+            return ()
+        return (ReAggregationSpec(reused_agg, sub_agg),)
+
+    ops: List[OperatorSpec] = []
+    sub_selection = subscription.selection
+    if sub_selection is not None and sub_selection != reused.selection:
+        ops.append(SelectionSpec(sub_selection.graph))
+
+    if sub_agg is not None:
+        ops.append(sub_agg)
+        return tuple(ops)
+
+    sub_projection = subscription.projection
+    reused_projection = reused.projection
+    if sub_projection is not None and (
+        reused_projection is None
+        or reused_projection.output_elements != sub_projection.output_elements
+    ):
+        ops.append(
+            ProjectionSpec(
+                output_elements=sub_projection.output_elements,
+                referenced_elements=sub_projection.referenced_elements,
+            )
+        )
+
+    sub_window = subscription.operator_of_kind("window")
+    reused_window = reused.operator_of_kind("window")
+    if isinstance(sub_window, WindowContentsSpec) and reused_window is None:
+        ops.append(sub_window)
+    return tuple(ops)
+
+
+class Planner:
+    """Builds and costs candidate plans against a deployment state."""
+
+    def __init__(
+        self,
+        net: Network,
+        catalog: StatisticsCatalog,
+        cost_model: CostModel,
+        latency_model: Optional[LatencyModel] = None,
+    ) -> None:
+        self.net = net
+        self.catalog = catalog
+        self.cost_model = cost_model
+        self.latency_model = latency_model or LatencyModel()
+
+    # ------------------------------------------------------------------
+    # Plan construction
+    # ------------------------------------------------------------------
+    def plans_for_candidate(
+        self,
+        deployment: Deployment,
+        candidate: InstalledStream,
+        tap_node: str,
+        subscription: StreamProperties,
+        query_name: str,
+        subscriber_node: str,
+        placements: Tuple[str, ...] = ("tap", "target"),
+    ) -> List[InputPlan]:
+        """All placement variants of reusing ``candidate`` at ``tap_node``."""
+        pipeline = derive_compensation(candidate.content, subscription)
+        plans: List[InputPlan] = []
+        seen_shapes = set()
+        for placement in placements:
+            node = tap_node if placement == "tap" else subscriber_node
+            shape = (node,)
+            if shape in seen_shapes:
+                continue  # tap == target: the variants coincide
+            seen_shapes.add(shape)
+            plans.append(
+                self._build_plan(
+                    deployment,
+                    candidate,
+                    tap_node,
+                    node,
+                    pipeline,
+                    subscription,
+                    query_name,
+                    subscriber_node,
+                )
+            )
+        return plans
+
+    def _build_plan(
+        self,
+        deployment: Deployment,
+        candidate: InstalledStream,
+        tap_node: str,
+        placement_node: str,
+        pipeline: Tuple[OperatorSpec, ...],
+        subscription: StreamProperties,
+        query_name: str,
+        subscriber_node: str,
+    ) -> InputPlan:
+        relay: Optional[InstalledStream] = None
+        delivered_parent = candidate.stream_id
+        if placement_node != tap_node:
+            relay_route = tuple(shortest_path(self.net, tap_node, placement_node))
+            relay = InstalledStream(
+                stream_id=f"{query_name}:{subscription.stream}:relay",
+                content=candidate.content,
+                origin_node=tap_node,
+                route=relay_route,
+                parent_id=candidate.stream_id,
+                pipeline=(),
+                query=query_name,
+            )
+            delivered_parent = relay.stream_id
+
+        delivered_route = tuple(shortest_path(self.net, placement_node, subscriber_node))
+        delivered = InstalledStream(
+            stream_id=f"{query_name}:{subscription.stream}",
+            content=subscription,
+            origin_node=placement_node,
+            route=delivered_route,
+            parent_id=delivered_parent,
+            pipeline=pipeline,
+            query=query_name,
+        )
+
+        effects = self._estimate_effects(
+            candidate, tap_node, placement_node, relay, delivered, subscription
+        )
+        cost = self.cost_model.plan_cost(effects, deployment.usage)
+        return InputPlan(
+            input_stream=subscription.stream,
+            reused_id=candidate.stream_id,
+            tap_node=tap_node,
+            placement_node=placement_node,
+            relay=relay,
+            delivered=delivered,
+            effects=effects,
+            cost=cost,
+        )
+
+    # ------------------------------------------------------------------
+    # Effect estimation
+    # ------------------------------------------------------------------
+    def _estimate_effects(
+        self,
+        candidate: InstalledStream,
+        tap_node: str,
+        placement_node: str,
+        relay: Optional[InstalledStream],
+        delivered: InstalledStream,
+        subscription: StreamProperties,
+    ) -> PlanEffects:
+        effects = PlanEffects()
+        reused_rate = estimate_stream_rate(candidate.content, self.catalog)
+        delivered_rate = estimate_stream_rate(subscription, self.catalog)
+
+        # Duplicating the reused stream at the tap node.
+        self._charge(effects, tap_node, "duplicate", reused_rate.frequency)
+
+        # Relay stream: reused content shipped to the placement node.
+        if relay is not None:
+            self._route_effects(effects, relay.route, reused_rate)
+
+        # Compensation pipeline at the placement node.
+        frequency = reused_rate.frequency
+        for spec in delivered.pipeline:
+            udf_name = getattr(spec, "name", None) if spec.kind == "udf" else None
+            self._charge(effects, placement_node, spec.kind, frequency, udf_name)
+            frequency = self._stage_output_frequency(
+                spec, subscription, frequency, delivered_rate.frequency
+            )
+
+        # Delivered stream: subscription content to the subscriber.
+        self._route_effects(effects, delivered.route, delivered_rate)
+
+        # Post-processing at the subscriber's super-peer.
+        self._charge(effects, delivered.target_node, "restructure", delivered_rate.frequency)
+        return effects
+
+    def _stage_output_frequency(
+        self,
+        spec: OperatorSpec,
+        subscription: StreamProperties,
+        input_frequency: float,
+        delivered_frequency: float,
+    ) -> float:
+        if isinstance(spec, SelectionSpec):
+            stats = self.catalog.for_stream(subscription.stream)
+            return min(input_frequency, stats.frequency * stats.selectivity(spec.graph))
+        if isinstance(spec, (AggregationSpec, ReAggregationSpec, WindowContentsSpec)):
+            return delivered_frequency
+        return input_frequency  # projections keep the frequency
+
+    def _route_effects(self, effects: PlanEffects, route, rate) -> None:
+        if len(route) < 2:
+            return
+        for a, b in zip(route, route[1:]):
+            effects.add_link(self.net.link(a, b), rate.bits_per_second)
+        for sender in route[:-1]:
+            self._charge(effects, sender, "transfer", rate.frequency)
+
+    def _charge(
+        self,
+        effects: PlanEffects,
+        node: str,
+        kind: str,
+        frequency: float,
+        udf_name=None,
+    ) -> None:
+        peer = self.net.super_peer(node)
+        effects.add_peer(node, base_load(kind, udf_name) * peer.pindex * frequency)

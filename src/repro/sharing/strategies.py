@@ -1,0 +1,141 @@
+"""The evaluation strategies compared in Section 4.
+
+* **data shipping** — transmit the whole original input stream from the
+  source's super-peer to the subscriber's super-peer along a shortest
+  path and evaluate the complete query there, once per subscription;
+* **query shipping** — evaluate the complete query at the source's
+  super-peer and ship only the result (single-input queries only, as in
+  the paper's experiments);
+* **stream sharing** — Algorithm 1 (see :mod:`repro.sharing.subscribe`).
+
+All three share the plan/effects machinery so the measured comparison
+differs only in the decisions, not the bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..properties import Properties
+from ..wxquery import AnalyzedQuery
+from .plan import Deployment, EvaluationPlan, RegisteredQuery
+from .planner import Planner, PlanningError
+from .subscribe import RegistrationResult, Subscriber
+
+STRATEGIES = ("data-shipping", "query-shipping", "stream-sharing")
+
+
+class StrategyRegistrar:
+    """Registers subscriptions under one of the three strategies."""
+
+    def __init__(
+        self,
+        planner: Planner,
+        strategy: str,
+        match_mode: str = "edgewise",
+        search_order: str = "bfs",
+        admission_control: bool = False,
+        share_aggregates: bool = True,
+        enable_widening: bool = False,
+    ) -> None:
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}; pick one of {STRATEGIES}")
+        self.planner = planner
+        self.strategy = strategy
+        self.admission_control = admission_control
+        self._subscriber = Subscriber(
+            planner,
+            match_mode=match_mode,
+            search_order=search_order,
+            admission_control=admission_control,
+            share_aggregates=share_aggregates,
+            enable_widening=enable_widening,
+        )
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        deployment: Deployment,
+        properties: Properties,
+        analyzed: AnalyzedQuery,
+        subscriber_node: str,
+    ) -> RegistrationResult:
+        if self.strategy == "stream-sharing":
+            return self._subscriber.subscribe(
+                deployment, properties, analyzed, subscriber_node
+            )
+        return self._register_fixed(deployment, properties, analyzed, subscriber_node)
+
+    # ------------------------------------------------------------------
+    def _register_fixed(
+        self,
+        deployment: Deployment,
+        properties: Properties,
+        analyzed: AnalyzedQuery,
+        subscriber_node: str,
+    ) -> RegistrationResult:
+        """Data/query shipping: one fixed plan, no search."""
+        placement = "target" if self.strategy == "data-shipping" else "tap"
+        plan = EvaluationPlan(query=properties.name)
+        for subscription_input in properties.input_streams():
+            try:
+                original = deployment.find_original(subscription_input.stream)
+            except KeyError as exc:
+                raise PlanningError(str(exc)) from None
+            candidates = self.planner.plans_for_candidate(
+                deployment,
+                original,
+                original.origin_node,
+                subscription_input,
+                properties.name,
+                subscriber_node,
+                placements=(placement,),
+            )
+            plan.inputs.append(candidates[0])
+
+        latency = self.planner.latency_model.registration_time_ms(
+            visited_nodes=0,
+            candidate_matches=0,
+            installed_operators=plan.installed_operator_count(),
+            route_hops=plan.route_hop_count(),
+        )
+
+        if self.admission_control:
+            effects = plan.combined_effects()
+            if self.planner.cost_model.overloads(effects, deployment.usage):
+                return RegistrationResult(
+                    query=properties.name,
+                    accepted=False,
+                    plan=plan,
+                    registration_ms=latency,
+                    rejection_reason="plan overloads a peer or connection",
+                )
+
+        self._commit(deployment, plan, properties, analyzed, subscriber_node)
+        return RegistrationResult(
+            query=properties.name, accepted=True, plan=plan, registration_ms=latency
+        )
+
+    def _commit(
+        self,
+        deployment: Deployment,
+        plan: EvaluationPlan,
+        properties: Properties,
+        analyzed: AnalyzedQuery,
+        subscriber_node: str,
+    ) -> None:
+        delivered = []
+        for input_plan in plan.inputs:
+            for stream in input_plan.new_streams():
+                deployment.install_stream(stream)
+            delivered.append((input_plan.input_stream, input_plan.delivered.stream_id))
+        deployment.commit_effects(plan.combined_effects())
+        deployment.register_query(
+            RegisteredQuery(
+                name=properties.name,
+                properties=properties,
+                analyzed=analyzed,
+                subscriber_node=subscriber_node,
+                delivered=tuple(delivered),
+            )
+        )

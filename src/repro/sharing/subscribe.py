@@ -1,0 +1,266 @@
+"""``Subscribe`` — Algorithm 1: breadth-first search for shareable
+streams and cost-based plan selection.
+
+For each input stream of a newly registered subscription the algorithm
+
+1. starts from the plan that routes the *original* input stream to the
+   subscriber and evaluates everything there (lines 4–5);
+2. breadth-first searches the network from the original stream's node,
+   following only matched streams' delivery targets (lines 7–25) — a
+   non-matching property adds no nodes, so the search visits only the
+   relevant part of the network;
+3. matches every variant stream available at each visited node against
+   the subscription (Algorithm 2) and keeps the cheapest plan under the
+   cost function ``C`` (lines 19–22).
+
+The queue discipline is configurable: FIFO gives the paper's
+breadth-first search, LIFO the depth-first alternative the paper notes
+would be equally possible (ablation bench E8).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Set
+
+from ..costmodel import LatencyModel
+from ..matching import match_stream_properties
+from ..properties import Properties, StreamProperties
+from ..wxquery import AnalyzedQuery
+from .plan import Deployment, EvaluationPlan, InputPlan, InstalledStream, RegisteredQuery
+from .planner import Planner, PlanningError
+
+
+@dataclass
+class RegistrationResult:
+    """Outcome of registering one subscription."""
+
+    query: str
+    accepted: bool
+    plan: Optional[EvaluationPlan]
+    registration_ms: float
+    rejection_reason: Optional[str] = None
+
+
+class Subscriber:
+    """Runs Algorithm 1 against a deployment and commits the result."""
+
+    def __init__(
+        self,
+        planner: Planner,
+        match_mode: str = "edgewise",
+        search_order: str = "bfs",
+        admission_control: bool = False,
+        share_aggregates: bool = True,
+        enable_widening: bool = False,
+    ) -> None:
+        if search_order not in ("bfs", "dfs"):
+            raise ValueError("search_order must be 'bfs' or 'dfs'")
+        self.planner = planner
+        self.match_mode = match_mode
+        self.search_order = search_order
+        self.admission_control = admission_control
+        #: Ablation switch (bench E8): with ``False``, existing aggregate
+        #: result streams are never considered for reuse.
+        self.share_aggregates = share_aggregates
+        #: The Section 6 enhancement: consider widening almost-matching
+        #: streams (see :mod:`repro.sharing.widening`).
+        self.enable_widening = enable_widening
+        if enable_widening:
+            from .widening import WideningPlanner
+
+            self._widening_planner = WideningPlanner(planner)
+        else:
+            self._widening_planner = None
+
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        deployment: Deployment,
+        properties: Properties,
+        analyzed: AnalyzedQuery,
+        subscriber_node: str,
+    ) -> RegistrationResult:
+        """Register a subscription; returns the outcome (never raises
+        for capacity rejections — those are reported in the result)."""
+        plan = EvaluationPlan(query=properties.name)
+
+        for subscription_input in properties.input_streams():      # line 2
+            best = self._search_input(
+                deployment, subscription_input, properties.name, subscriber_node, plan
+            )
+            plan.inputs.append(best)                                # line 27
+
+        latency = self.planner.latency_model.registration_time_ms(
+            visited_nodes=plan.visited_nodes,
+            candidate_matches=plan.candidate_matches,
+            installed_operators=plan.installed_operator_count(),
+            route_hops=plan.route_hop_count(),
+        )
+
+        if self.admission_control:
+            effects = plan.combined_effects()
+            if self.planner.cost_model.overloads(effects, deployment.usage):
+                return RegistrationResult(
+                    query=properties.name,
+                    accepted=False,
+                    plan=plan,
+                    registration_ms=latency,
+                    rejection_reason="no evaluation plan without overload",
+                )
+
+        self._commit(deployment, plan, properties, analyzed, subscriber_node)
+        return RegistrationResult(
+            query=properties.name,
+            accepted=True,
+            plan=plan,
+            registration_ms=latency,
+        )
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 core
+    # ------------------------------------------------------------------
+    def _search_input(
+        self,
+        deployment: Deployment,
+        subscription_input: StreamProperties,
+        query_name: str,
+        subscriber_node: str,
+        plan: EvaluationPlan,
+    ) -> InputPlan:
+        try:
+            original = deployment.find_original(subscription_input.stream)
+        except KeyError as exc:
+            raise PlanningError(str(exc)) from None
+
+        # Lines 4–5: the initial plan ships the original stream to the
+        # subscriber's super-peer and evaluates everything there.
+        initial_candidates = self.planner.plans_for_candidate(
+            deployment,
+            original,
+            original.origin_node,
+            subscription_input,
+            query_name,
+            subscriber_node,
+            placements=("target",),
+        )
+        best = initial_candidates[0]
+
+        marked: Set[str] = set()
+        queue: Deque[str] = deque([original.origin_node])           # line 6
+
+        while queue:                                                # line 7
+            node = queue.popleft() if self.search_order == "bfs" else queue.pop()
+            if node in marked:
+                continue
+            marked.add(node)                                        # line 8
+            plan.visited_nodes += 1
+
+            for candidate in self._variants_at(deployment, node, subscription_input):
+                if not self.share_aggregates and candidate.content.aggregation is not None:
+                    continue
+                plan.candidate_matches += 1
+                if not match_stream_properties(                     # line 14
+                    candidate.content, subscription_input, self.match_mode
+                ):
+                    widened = self._widening_variant(
+                        deployment, candidate, node, subscription_input,
+                        query_name, subscriber_node,
+                    )
+                    if widened is not None and widened.cost < best.cost:
+                        best = widened
+                    continue
+                target = candidate.target_node                      # line 15
+                if target not in marked and target not in queue:    # lines 16–18
+                    queue.append(target)
+                for variant in self.planner.plans_for_candidate(    # line 19
+                    deployment,
+                    candidate,
+                    node,
+                    subscription_input,
+                    query_name,
+                    subscriber_node,
+                ):
+                    if variant.cost < best.cost:                    # lines 20–22
+                        best = variant
+        return best
+
+    def _widening_variant(
+        self,
+        deployment: Deployment,
+        candidate: InstalledStream,
+        node: str,
+        subscription_input: StreamProperties,
+        query_name: str,
+        subscriber_node: str,
+    ) -> Optional[InputPlan]:
+        """Cost the best plan that reuses ``candidate`` after widening it."""
+        if self._widening_planner is None:
+            return None
+        widened = self._widening_planner.plan_widening(
+            deployment, candidate, subscription_input, query_name
+        )
+        if widened is None:
+            return None
+        widened_stream, action = widened
+        best: Optional[InputPlan] = None
+        for variant in self.planner.plans_for_candidate(
+            deployment,
+            widened_stream,
+            node,
+            subscription_input,
+            query_name,
+            subscriber_node,
+        ):
+            variant.widening = action
+            merged = variant.effects
+            combined = type(merged)()
+            combined.merge(merged)
+            combined.merge(action.effects)
+            variant.cost = self.planner.cost_model.plan_cost(
+                combined, deployment.usage
+            )
+            if best is None or variant.cost < best.cost:
+                best = variant
+        return best
+
+    @staticmethod
+    def _variants_at(
+        deployment: Deployment, node: str, subscription_input: StreamProperties
+    ) -> List[InstalledStream]:
+        """Line 9: streams available at ``node`` derived from the same
+        original input stream."""
+        return [
+            stream
+            for stream in deployment.streams_at(node)
+            if stream.content.stream == subscription_input.stream
+        ]
+
+    # ------------------------------------------------------------------
+    def _commit(
+        self,
+        deployment: Deployment,
+        plan: EvaluationPlan,
+        properties: Properties,
+        analyzed: AnalyzedQuery,
+        subscriber_node: str,
+    ) -> None:
+        delivered = []
+        for input_plan in plan.inputs:
+            if input_plan.widening is not None:
+                assert self._widening_planner is not None
+                self._widening_planner.commit(deployment, input_plan.widening)
+            for stream in input_plan.new_streams():
+                deployment.install_stream(stream)
+            delivered.append((input_plan.input_stream, input_plan.delivered.stream_id))
+        deployment.commit_effects(plan.combined_effects())
+        deployment.register_query(
+            RegisteredQuery(
+                name=properties.name,
+                properties=properties,
+                analyzed=analyzed,
+                subscriber_node=subscriber_node,
+                delivered=tuple(delivered),
+            )
+        )

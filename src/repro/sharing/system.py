@@ -1,0 +1,251 @@
+"""The StreamGlobe facade: one object tying the whole system together.
+
+Typical use (see ``examples/quickstart.py``)::
+
+    system = StreamGlobe(example_topology(), strategy="stream-sharing")
+    system.register_stream("photons", "photons/photon",
+                           lambda: PhotonGenerator(config), source_peer="P0")
+    result = system.register_query("Q1", QUERY_TEXT, subscriber_peer="P1")
+    metrics = system.run(duration=60.0)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from ..costmodel import (
+    CostModel,
+    LatencyModel,
+    StatisticsCatalog,
+    StreamStatistics,
+)
+from ..engine import RunMetrics, StreamSimulator
+from ..engine.executor import ItemGenerator
+from ..network.topology import Network
+from ..properties import StreamProperties, extract_from_analysis, raw_stream_properties
+from ..wxquery import Query, analyze, parse_query
+from ..xmlkit import Path
+from .plan import Deployment, InstalledStream
+from .planner import Planner
+from .strategies import StrategyRegistrar
+from .subscribe import RegistrationResult
+
+#: Number of sample items used to build a stream's statistics entry.
+STATISTICS_SAMPLE_SIZE = 400
+
+
+@dataclass
+class SourceRegistration:
+    """Bookkeeping for one registered original data stream."""
+
+    name: str
+    item_path: Path
+    home_node: str
+    frequency: float
+    generator_factory: Callable[[], ItemGenerator] = field(repr=False)
+
+
+class StreamGlobe:
+    """A super-peer DSMS network with incremental query registration."""
+
+    def __init__(
+        self,
+        net: Network,
+        strategy: str = "stream-sharing",
+        gamma: float = 0.5,
+        match_mode: str = "edgewise",
+        search_order: str = "bfs",
+        admission_control: bool = False,
+        share_aggregates: bool = True,
+        enable_widening: bool = False,
+        latency_model: Optional[LatencyModel] = None,
+    ) -> None:
+        self.net = net
+        self.catalog = StatisticsCatalog()
+        self.cost_model = CostModel(net, gamma=gamma)
+        self.planner = Planner(net, self.catalog, self.cost_model, latency_model)
+        self.registrar = StrategyRegistrar(
+            self.planner,
+            strategy,
+            match_mode=match_mode,
+            search_order=search_order,
+            admission_control=admission_control,
+            share_aggregates=share_aggregates,
+            enable_widening=enable_widening,
+        )
+        self.deployment = Deployment(net)
+        self.sources: Dict[str, SourceRegistration] = {}
+        self.results: List[RegistrationResult] = []
+
+    # ------------------------------------------------------------------
+    # Stream registration
+    # ------------------------------------------------------------------
+    def register_stream(
+        self,
+        name: str,
+        item_path: Union[str, Path],
+        generator_factory: Callable[[], ItemGenerator],
+        frequency: float,
+        source_peer: str,
+    ) -> None:
+        """Register an original data stream delivered by a thin-peer.
+
+        ``generator_factory`` must return a *fresh, identically seeded*
+        generator on every call: one instance samples the statistics
+        catalog, later instances drive executions.
+        """
+        if name in self.sources:
+            raise ValueError(f"stream {name!r} already registered")
+        path = item_path if isinstance(item_path, Path) else Path(item_path)
+        home = self.net.home_of(source_peer)
+
+        sample_generator = generator_factory()
+        sample = [sample_generator.next_item() for _ in range(STATISTICS_SAMPLE_SIZE)]
+        self.catalog.register(
+            StreamStatistics.from_sample(name, path, sample, frequency)
+        )
+
+        self.sources[name] = SourceRegistration(
+            name=name,
+            item_path=path,
+            home_node=home,
+            frequency=frequency,
+            generator_factory=generator_factory,
+        )
+        self.deployment.install_stream(
+            InstalledStream(
+                stream_id=name,
+                content=raw_stream_properties(name, path).single_input(),
+                origin_node=home,
+                route=(home,),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Programmatic derived streams (user-defined operators)
+    # ------------------------------------------------------------------
+    def install_derived_stream(
+        self,
+        stream_id: str,
+        parent_id: str,
+        pipeline,
+        target: str,
+        tap_node: Optional[str] = None,
+    ) -> InstalledStream:
+        """Install an administratively deployed derived stream.
+
+        The WXQuery fragment cannot express user-defined operators
+        (Definition 2.1), but the properties/matching machinery supports
+        them (Algorithm 2's unknown-operator case).  This method is the
+        deployment path for such streams: ``pipeline`` is a sequence of
+        operator specs (typically ending in a
+        :class:`~repro.properties.UdfSpec`), applied at ``tap_node``
+        (default: the parent stream's origin) and routed to ``target``.
+
+        Returns the installed stream; it participates in sharing like
+        any query-generated stream.
+        """
+        from ..network.routing import shortest_path
+
+        parent = self.deployment.stream(parent_id)
+        origin = tap_node or parent.origin_node
+        if origin not in parent.route:
+            raise ValueError(
+                f"tap node {origin!r} is not on the route of {parent_id!r}"
+            )
+        content = StreamProperties(
+            stream=parent.content.stream,
+            item_path=parent.content.item_path,
+            operators=parent.content.operators + tuple(pipeline),
+        )
+        stream = InstalledStream(
+            stream_id=stream_id,
+            content=content,
+            origin_node=origin,
+            route=tuple(shortest_path(self.net, origin, self.net.home_of(target))),
+            parent_id=parent_id,
+            pipeline=tuple(pipeline),
+        )
+        self.deployment.install_stream(stream)
+        return stream
+
+    def find_shareable_streams(self, needed: StreamProperties):
+        """All installed streams whose content can answer ``needed``."""
+        from ..matching import match_stream_properties
+
+        return [
+            stream
+            for stream in self.deployment.streams.values()
+            if match_stream_properties(stream.content, needed)
+        ]
+
+    # ------------------------------------------------------------------
+    # Query registration
+    # ------------------------------------------------------------------
+    def register_query(
+        self,
+        name: str,
+        query: Union[str, Query],
+        subscriber_peer: str,
+    ) -> RegistrationResult:
+        """Register a continuous WXQuery subscription.
+
+        Returns the registration result; capacity rejections (with
+        admission control enabled) are reported, not raised.
+        """
+        parsed = parse_query(query) if isinstance(query, str) else query
+        analyzed = analyze(parsed)
+        properties = extract_from_analysis(analyzed, name)
+        subscriber_node = self.net.home_of(subscriber_peer)
+        result = self.registrar.register(
+            self.deployment, properties, analyzed, subscriber_node
+        )
+        self.results.append(result)
+        return result
+
+    def deregister_query(self, name: str) -> List[str]:
+        """Remove a subscription and garbage-collect its streams.
+
+        Streams shared with other live subscriptions survive; streams
+        no subscription needs anymore are removed and their estimated
+        resource commitments released.  Returns the removed stream ids.
+        """
+        from .deregister import Deregistrar
+
+        return Deregistrar(self.planner).deregister(self.deployment, name)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self, duration: float, max_items_per_source: Optional[int] = None
+    ) -> RunMetrics:
+        """Execute the deployed network for ``duration`` virtual seconds.
+
+        Every call replays the sources from fresh, identically seeded
+        generators, so repeated runs are bit-for-bit reproducible.
+        """
+        generators = {
+            name: source.generator_factory() for name, source in self.sources.items()
+        }
+        simulator = StreamSimulator(
+            self.net,
+            self.deployment,
+            generators,
+            duration,
+            max_items_per_source=max_items_per_source,
+        )
+        return simulator.run()
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+    def accepted_queries(self) -> List[str]:
+        return [r.query for r in self.results if r.accepted]
+
+    def rejected_queries(self) -> List[str]:
+        return [r.query for r in self.results if not r.accepted]
+
+    def registration_times_ms(self) -> List[float]:
+        return [r.registration_ms for r in self.results]

@@ -1,0 +1,145 @@
+"""Deployment invariant checking.
+
+A deployment mutates incrementally — every registration installs
+streams, widening rewrites them in place — so this module provides an
+independent auditor used by tests, benches, and operators:
+
+* **routing** — every stream's route is a connected path of existing
+  links starting at its origin;
+* **derivation** — every derived stream's parent exists and is
+  available at the derived stream's origin node (on the parent's
+  route);
+* **content soundness** — every derived stream's content is actually
+  producible from its parent (Algorithm 2 accepts parent → child);
+* **delivery** — every registered query's delivered streams exist,
+  terminate at the subscriber's super-peer, and match the query's
+  per-input requirements;
+* **usage ledger** — no negative committed usage.
+
+``validate_deployment`` returns a list of human-readable violations
+(empty = healthy); ``check_deployment`` raises on the first problem.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..matching import match_stream_properties
+from .plan import Deployment, InstalledStream
+
+
+class DeploymentInvariantError(AssertionError):
+    """Raised by :func:`check_deployment` on a violated invariant."""
+
+
+def validate_deployment(deployment: Deployment) -> List[str]:
+    """Audit ``deployment``; return all violations found."""
+    problems: List[str] = []
+    net = deployment.net
+
+    for stream in deployment.streams.values():
+        problems.extend(_check_route(deployment, stream))
+        problems.extend(_check_derivation(deployment, stream))
+
+    for record in deployment.queries.values():
+        for input_stream, stream_id in record.delivered:
+            delivered = deployment.streams.get(stream_id)
+            if delivered is None:
+                problems.append(
+                    f"query {record.name}: delivered stream {stream_id!r} missing"
+                )
+                continue
+            if delivered.target_node != record.subscriber_node:
+                problems.append(
+                    f"query {record.name}: stream {stream_id!r} ends at "
+                    f"{delivered.target_node}, subscriber is at "
+                    f"{record.subscriber_node}"
+                )
+            try:
+                needed = record.properties.input_for(input_stream)
+            except KeyError:
+                problems.append(
+                    f"query {record.name}: no requirement recorded for input "
+                    f"{input_stream!r}"
+                )
+                continue
+            # A delivered stream satisfies its query when it IS the
+            # required content.  (Algorithm 2 alone is too strict here:
+            # a stream that already applied the query's selection and
+            # projected away selection-only elements equals the
+            # requirement but could not serve a *fresh* copy of it.)
+            if delivered.content != needed and not match_stream_properties(
+                delivered.content, needed
+            ):
+                problems.append(
+                    f"query {record.name}: delivered stream {stream_id!r} does "
+                    f"not satisfy its requirement on {input_stream!r}"
+                )
+
+    for (a, b), bits in deployment.usage._link_bits.items():
+        if bits < -1e-6:
+            problems.append(f"usage ledger: negative traffic on {a}-{b}: {bits}")
+    for peer, work in deployment.usage._peer_work.items():
+        if work < -1e-6:
+            problems.append(f"usage ledger: negative work on {peer}: {work}")
+
+    del net
+    return problems
+
+
+def _check_route(deployment: Deployment, stream: InstalledStream) -> List[str]:
+    problems: List[str] = []
+    net = deployment.net
+    for node in stream.route:
+        if node not in net:
+            problems.append(
+                f"stream {stream.stream_id}: route node {node!r} does not exist"
+            )
+            return problems
+    for a, b in stream.links():
+        if not net.has_link(a, b):
+            problems.append(
+                f"stream {stream.stream_id}: route uses missing link {a}-{b}"
+            )
+    return problems
+
+
+def _check_derivation(deployment: Deployment, stream: InstalledStream) -> List[str]:
+    problems: List[str] = []
+    if stream.parent_id is None:
+        if stream.pipeline:
+            problems.append(
+                f"stream {stream.stream_id}: original streams carry no pipeline"
+            )
+        return problems
+    parent = deployment.streams.get(stream.parent_id)
+    if parent is None:
+        problems.append(
+            f"stream {stream.stream_id}: parent {stream.parent_id!r} missing"
+        )
+        return problems
+    if stream.origin_node not in parent.route:
+        problems.append(
+            f"stream {stream.stream_id}: taps {stream.parent_id!r} at "
+            f"{stream.origin_node}, which is not on the parent's route"
+        )
+    if parent.content.stream != stream.content.stream:
+        problems.append(
+            f"stream {stream.stream_id}: original input stream changed along "
+            f"the derivation ({parent.content.stream!r} → {stream.content.stream!r})"
+        )
+    # The parent must be able to answer the child's content — otherwise
+    # the child's pipeline cannot have produced it.
+    if not match_stream_properties(parent.content, stream.content):
+        problems.append(
+            f"stream {stream.stream_id}: content is not derivable from parent "
+            f"{stream.parent_id!r} (Algorithm 2 rejects the pair)"
+        )
+    return problems
+
+
+def check_deployment(deployment: Deployment) -> None:
+    """Raise :class:`DeploymentInvariantError` on the first violation."""
+    problems = validate_deployment(deployment)
+    if problems:
+        raise DeploymentInvariantError("; ".join(problems))

@@ -1,0 +1,60 @@
+"""Workload substrate: synthetic photon streams, query templates, scenarios."""
+
+from .photons import (
+    HotSpot,
+    PhotonGenerator,
+    PhotonStreamConfig,
+    RXJ_REGION,
+    SKY_STRIP,
+    SkyRegion,
+    VELA_REGION,
+    average_item_size,
+)
+from .scenarios import QuerySpec, Scenario, SourceSpec, scenario_grid, scenario_one, scenario_two
+from .trace import (
+    TraceError,
+    TraceReplayGenerator,
+    load_trace,
+    record_trace,
+    save_trace,
+)
+from .templates import (
+    AGG_FUNCTIONS,
+    COUNT_WINDOWS,
+    ENERGY_MINS,
+    GeneratedQuery,
+    OUTPUT_SETS,
+    QueryTemplateGenerator,
+    REGIONS,
+    TIME_WINDOWS,
+)
+
+__all__ = [
+    "AGG_FUNCTIONS",
+    "COUNT_WINDOWS",
+    "ENERGY_MINS",
+    "GeneratedQuery",
+    "HotSpot",
+    "OUTPUT_SETS",
+    "PhotonGenerator",
+    "PhotonStreamConfig",
+    "QuerySpec",
+    "QueryTemplateGenerator",
+    "REGIONS",
+    "RXJ_REGION",
+    "SKY_STRIP",
+    "Scenario",
+    "SkyRegion",
+    "SourceSpec",
+    "TIME_WINDOWS",
+    "TraceError",
+    "TraceReplayGenerator",
+    "VELA_REGION",
+    "average_item_size",
+    "load_trace",
+    "record_trace",
+    "save_trace",
+    "scenario_grid",
+    "scenario_one",
+    "scenario_two",
+]

@@ -1,0 +1,186 @@
+"""The two evaluation scenarios of Section 4, as declarative setups.
+
+* **Scenario 1** — the extended running example: the 8-super-peer
+  topology of Figures 1/2, one photon stream registered by the
+  telescope thin-peer P0 at SP4, and 25 template queries registered by
+  the astrophysicists' thin-peers P1–P4.
+* **Scenario 2** — a 4×4 super-peer grid with two photon streams at
+  opposite corners and 100 template queries registered across eight
+  subscriber thin-peers.
+
+Both are pure descriptions; :mod:`repro.bench.harness` instantiates
+them per strategy and executes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+from ..network.topology import Network, example_topology, grid_topology
+from .photons import HotSpot, PhotonGenerator, PhotonStreamConfig, SkyRegion
+from .templates import GeneratedQuery, QueryTemplateGenerator
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """One registered original data stream."""
+
+    name: str
+    source_peer: str
+    frequency: float
+    config: PhotonStreamConfig
+
+    def generator_factory(self) -> Callable[[], PhotonGenerator]:
+        config = self.config
+        return lambda: PhotonGenerator(config)
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One subscription to register: name, text, subscriber, kind."""
+
+    name: str
+    text: str
+    subscriber_peer: str
+    kind: str
+
+
+@dataclass
+class Scenario:
+    """A complete benchmark setup."""
+
+    name: str
+    network_factory: Callable[[], Network] = field(repr=False)
+    sources: List[SourceSpec] = field(default_factory=list)
+    queries: List[QuerySpec] = field(default_factory=list)
+    #: Virtual seconds of stream input per execution.
+    duration: float = 60.0
+
+    def build_network(self) -> Network:
+        return self.network_factory()
+
+
+def scenario_one(seed: int = 20060326, query_count: int = 25) -> Scenario:
+    """8 super-peers, 1 data stream, 25 queries (Figure 6, Table 1)."""
+    config = PhotonStreamConfig(seed=seed, frequency=100.0)
+    generator = QueryTemplateGenerator(stream="photons", seed=seed)
+    subscribers = ("P1", "P2", "P3", "P4")
+    queries = [
+        QuerySpec(
+            name=generated.name,
+            text=generated.text,
+            subscriber_peer=subscribers[index % len(subscribers)],
+            kind=generated.kind,
+        )
+        for index, generated in enumerate(generator.generate(query_count))
+    ]
+    return Scenario(
+        name="scenario-1",
+        network_factory=example_topology,
+        sources=[SourceSpec("photons", "P0", 100.0, config)],
+        queries=queries,
+        duration=60.0,
+    )
+
+
+def _grid_network() -> Network:
+    """The 4×4 grid plus the scenario's thin-peers."""
+    net = grid_topology(4, 4)
+    net.add_thin_peer("T0", "SP0")    # first telescope
+    net.add_thin_peer("T1", "SP15")   # second telescope
+    for index, home in enumerate(
+        ("SP3", "SP5", "SP6", "SP9", "SP10", "SP12", "SP7", "SP14")
+    ):
+        net.add_thin_peer(f"U{index}", home)
+    return net
+
+
+#: A second survey field for the grid scenario's second stream.
+_SECOND_STRIP = SkyRegion(100.0, 160.0, -60.0, -20.0)
+
+
+def scenario_grid(
+    rows: int,
+    cols: int,
+    query_count: int,
+    seed: int = 20060328,
+    duration: float = 60.0,
+) -> Scenario:
+    """A parameterized grid scenario (scalability studies, bench E10).
+
+    One photon stream at the top-left corner, subscribers spread over
+    every other super-peer round-robin.
+    """
+    net_rows, net_cols = rows, cols
+
+    def build() -> Network:
+        net = grid_topology(net_rows, net_cols)
+        net.add_thin_peer("T0", "SP0")
+        peers = [name for name in net.super_peer_names() if name != "SP0"]
+        for index, home in enumerate(peers):
+            net.add_thin_peer(f"U{index}", home)
+        return net
+
+    subscriber_count = rows * cols - 1
+    generator = QueryTemplateGenerator(stream="photons", seed=seed)
+    queries = [
+        QuerySpec(
+            name=generated.name,
+            text=generated.text,
+            subscriber_peer=f"U{index % subscriber_count}",
+            kind=generated.kind,
+        )
+        for index, generated in enumerate(generator.generate(query_count))
+    ]
+    return Scenario(
+        name=f"grid-{rows}x{cols}",
+        network_factory=build,
+        sources=[SourceSpec("photons", "T0", 100.0, PhotonStreamConfig(seed=seed, frequency=100.0))],
+        queries=queries,
+        duration=duration,
+    )
+
+
+def scenario_two(seed: int = 20060327, query_count: int = 100) -> Scenario:
+    """16 super-peers (4×4 grid), 2 data streams, 100 queries (Fig. 7)."""
+    first = PhotonStreamConfig(seed=seed, frequency=100.0)
+    second = PhotonStreamConfig(
+        seed=seed + 1,
+        frequency=80.0,
+        strip=_SECOND_STRIP,
+        hot_spots=(
+            HotSpot(ra=112.0, dec=-33.0, sigma=3.0, weight=0.25, mean_energy=1.1),
+            HotSpot(ra=148.0, dec=-47.0, sigma=1.5, weight=0.20, mean_energy=1.7),
+        ),
+    )
+    rng_queries: List[QuerySpec] = []
+    generators = {
+        "photons": QueryTemplateGenerator(stream="photons", seed=seed),
+        "photons2": QueryTemplateGenerator(stream="photons2", seed=seed + 7),
+    }
+    subscribers = tuple(f"U{i}" for i in range(8))
+    import random
+
+    chooser = random.Random(seed + 13)
+    for index in range(query_count):
+        stream = chooser.choice(("photons", "photons2"))
+        generated = generators[stream].generate_one()
+        rng_queries.append(
+            QuerySpec(
+                name=f"{'A' if stream == 'photons' else 'B'}{generated.name}",
+                text=generated.text,
+                subscriber_peer=subscribers[index % len(subscribers)],
+                kind=generated.kind,
+            )
+        )
+    return Scenario(
+        name="scenario-2",
+        network_factory=_grid_network,
+        sources=[
+            SourceSpec("photons", "T0", 100.0, first),
+            SourceSpec("photons2", "T1", 80.0, second),
+        ],
+        queries=rng_queries,
+        duration=60.0,
+    )

@@ -1,0 +1,165 @@
+"""Query templates for the evaluation workloads (Section 4).
+
+"The queries were generated using query templates for selection,
+projection, and aggregation queries.  Constant values, e.g., in
+selection predicates or data window definitions, were chosen uniformly
+from a predefined set of values to enable a certain degree of
+shareability."
+
+Three template families over a photon stream:
+
+* **selection** — a sky-region box plus an optional energy threshold,
+  returning the full attribute set;
+* **projection** — the same predicate structure but returning one of a
+  few fixed element subsets;
+* **aggregation** — a region pre-selection, a data window from a small
+  lattice of (∆, µ) pairs chosen so the ``mod``-compatibility conditions
+  of MatchAggregations frequently hold, one of the five aggregation
+  functions, and an optional result filter.
+
+Everything is drawn from the predefined pools below with a seeded RNG,
+so workloads are reproducible and overlap (and hence shareability) is
+controlled by the pool sizes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+#: Sky-region boxes (ra_min, ra_max, dec_min, dec_max).  The first two
+#: are the paper's running examples (vela and RX J0852.0-4622, nested);
+#: repetitions raise the collision rate the paper engineered via small
+#: constant pools.
+REGIONS: Tuple[Tuple[float, float, float, float], ...] = (
+    (120.0, 138.0, -49.0, -40.0),   # vela supernova remnant (Query 1)
+    (130.5, 135.5, -48.0, -45.0),   # RX J0852.0-4622 (Query 2), inside vela
+    (110.0, 150.0, -55.0, -30.0),   # wide survey cut
+    (120.0, 138.0, -49.0, -40.0),   # vela again (pool weighting)
+    (105.0, 125.0, -40.0, -25.0),   # northern field
+    (140.0, 155.0, -52.0, -35.0),   # eastern field
+)
+
+#: Optional lower bounds on photon energy (keV); None = no energy cut.
+ENERGY_MINS: Tuple[Optional[float], ...] = (None, None, 0.8, 1.3)
+
+#: Projection element subsets (paths relative to a photon item).
+OUTPUT_SETS: Tuple[Tuple[str, ...], ...] = (
+    ("coord/cel/ra", "coord/cel/dec", "phc", "en", "det_time"),
+    ("coord/cel/ra", "coord/cel/dec", "en", "det_time"),
+    ("coord/cel/ra", "coord/cel/dec", "det_time"),
+    ("en", "det_time"),
+)
+
+#: Time-based (∆, µ) pairs in det_time units.  The lattice is built so
+#: many pairs satisfy ∆' mod ∆ = 0, ∆ mod µ = 0, µ' mod µ = 0 against
+#: each other (e.g. (8,4) shares into (16,8), (32,16), ...).
+TIME_WINDOWS: Tuple[Tuple[int, int], ...] = ((8, 4), (16, 8), (16, 4), (32, 16), (8, 8))
+
+#: Item-based (∆, µ) pairs.
+COUNT_WINDOWS: Tuple[Tuple[int, int], ...] = ((50, 25), (100, 50), (200, 100))
+
+#: Aggregation functions with pool weighting (avg dominates, as in the
+#: motivating astronomy workload).
+AGG_FUNCTIONS: Tuple[str, ...] = ("avg", "avg", "sum", "count", "max", "min")
+
+#: Optional filters on avg results (keV thresholds).
+AVG_FILTERS: Tuple[Optional[float], ...] = (None, None, None, 1.0, 1.3)
+
+TEMPLATE_KINDS = ("selection", "projection", "aggregation")
+
+
+@dataclass(frozen=True)
+class GeneratedQuery:
+    """One workload subscription: a name, its WXQuery text, its kind."""
+
+    name: str
+    text: str
+    kind: str
+
+
+class QueryTemplateGenerator:
+    """Draws subscriptions from the template pools with a seeded RNG."""
+
+    def __init__(
+        self,
+        stream: str = "photons",
+        seed: int = 20060326,
+        kind_weights: Sequence[float] = (0.4, 0.3, 0.3),
+    ) -> None:
+        if len(kind_weights) != 3:
+            raise ValueError("kind_weights needs one weight per template kind")
+        self.stream = stream
+        self._rng = random.Random(seed)
+        self._weights = list(kind_weights)
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def generate(self, count: int) -> List[GeneratedQuery]:
+        """Generate ``count`` subscriptions."""
+        return [self.generate_one() for _ in range(count)]
+
+    def generate_one(self) -> GeneratedQuery:
+        kind = self._rng.choices(TEMPLATE_KINDS, weights=self._weights)[0]
+        self._counter += 1
+        name = f"Q{self._counter:03d}"
+        if kind == "selection":
+            text = self._selection_query(full_output=True)
+        elif kind == "projection":
+            text = self._selection_query(full_output=False)
+        else:
+            text = self._aggregation_query()
+        return GeneratedQuery(name=name, text=text, kind=kind)
+
+    # ------------------------------------------------------------------
+    # Template bodies
+    # ------------------------------------------------------------------
+    def _predicate(self) -> str:
+        ra0, ra1, dec0, dec1 = self._rng.choice(REGIONS)
+        atoms = [
+            f"$p/coord/cel/ra >= {ra0}",
+            f"$p/coord/cel/ra <= {ra1}",
+            f"$p/coord/cel/dec >= {dec0}",
+            f"$p/coord/cel/dec <= {dec1}",
+        ]
+        energy = self._rng.choice(ENERGY_MINS)
+        if energy is not None:
+            atoms.append(f"$p/en >= {energy}")
+        return " and ".join(atoms)
+
+    def _selection_query(self, full_output: bool) -> str:
+        predicate = self._predicate()
+        outputs = OUTPUT_SETS[0] if full_output else self._rng.choice(OUTPUT_SETS[1:])
+        returns = " ".join(f"{{ $p/{path} }}" for path in outputs)
+        return (
+            f"<photons>{{ for $p in stream(\"{self.stream}\")/photons/photon "
+            f"where {predicate} "
+            f"return <match> {returns} </match> }}</photons>"
+        )
+
+    def _aggregation_query(self) -> str:
+        ra0, ra1, dec0, dec1 = self._rng.choice(REGIONS)
+        condition = (
+            f"coord/cel/ra >= {ra0} and coord/cel/ra <= {ra1} "
+            f"and coord/cel/dec >= {dec0} and coord/cel/dec <= {dec1}"
+        )
+        function = self._rng.choice(AGG_FUNCTIONS)
+        if self._rng.random() < 0.7:
+            size, step = self._rng.choice(TIME_WINDOWS)
+            window = f"|det_time diff {size} step {step}|"
+        else:
+            size, step = self._rng.choice(COUNT_WINDOWS)
+            window = f"|count {size} step {step}|"
+        having = ""
+        if function == "avg":
+            threshold = self._rng.choice(AVG_FILTERS)
+            if threshold is not None:
+                having = f"where $a >= {threshold} "
+        return (
+            f"<photons>{{ for $w in stream(\"{self.stream}\")/photons/photon "
+            f"[{condition}] {window} "
+            f"let $a := {function}($w/en) "
+            f"{having}"
+            f"return <agg_result> {{ $a }} </agg_result> }}</photons>"
+        )

@@ -1,0 +1,127 @@
+"""Stream trace recording and replay.
+
+The reproduction substitutes synthetic photons for the paper's RASS
+data (DESIGN.md).  Anyone holding *real* stream data can feed it in
+through this module instead: a trace is a plain text file of
+concatenated serialized items (the same wire format the engine
+transmits), replayed through the :class:`TraceReplayGenerator`, which
+implements the executor's ``ItemGenerator`` protocol.
+
+The virtual clock during replay comes from a reference element inside
+the items themselves (``det_time`` by default) — rebased so the first
+item arrives at time zero — or, when no reference exists, from a fixed
+configured frequency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..xmlkit import Element, Path, parse_stream, serialize
+
+
+class TraceError(Exception):
+    """Raised for empty or inconsistent traces."""
+
+
+def record_trace(items: Iterable[Element]) -> str:
+    """Serialize items into trace text (one concatenated stream)."""
+    return "\n".join(serialize(item) for item in items) + "\n"
+
+
+def save_trace(items: Iterable[Element], path: str) -> int:
+    """Write a trace file; returns the number of items written."""
+    materialized = list(items)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(record_trace(materialized))
+    return len(materialized)
+
+
+def load_trace(path: str) -> List[Element]:
+    """Parse a trace file back into items."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_stream(handle.read())
+
+
+class TraceReplayGenerator:
+    """Replay recorded items on a virtual clock.
+
+    Parameters
+    ----------
+    items:
+        The trace to replay, in order.
+    reference:
+        Path (relative to the item root) of the timing element; its
+        values, rebased to start at zero, drive the clock.  When
+        ``None`` or missing on an item, ``frequency`` paces the clock.
+    frequency:
+        Fallback pacing in items per second.
+    loop:
+        Replay from the start after the last item (the reference clock
+        keeps increasing monotonically across loops).
+    """
+
+    def __init__(
+        self,
+        items: Sequence[Element],
+        reference: Optional[Path] = Path("det_time"),
+        frequency: float = 100.0,
+        loop: bool = False,
+    ) -> None:
+        if not items:
+            raise TraceError("cannot replay an empty trace")
+        if frequency <= 0:
+            raise TraceError("fallback frequency must be positive")
+        self._items = list(items)
+        self._reference = reference
+        self._frequency = frequency
+        self._loop = loop
+        self._index = 0
+        self._clock = 0.0
+        self._epoch = 0.0       # clock offset of the current loop pass
+        self._base: Optional[float] = self._item_time(self._items[0])
+        self._span: Optional[float] = None
+        if self._base is not None:
+            last = self._item_time(self._items[-1])
+            if last is not None and last >= self._base:
+                self._span = (last - self._base) + 1.0 / frequency
+
+    @classmethod
+    def from_file(cls, path: str, **kwargs) -> "TraceReplayGenerator":
+        return cls(load_trace(path), **kwargs)
+
+    # ------------------------------------------------------------------
+    # ItemGenerator protocol
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> float:
+        return self._clock
+
+    def next_item(self) -> Element:
+        if self._index >= len(self._items):
+            if not self._loop:
+                raise TraceError("trace exhausted (construct with loop=True to cycle)")
+            self._index = 0
+            self._epoch = (
+                self._clock + 1.0 / self._frequency
+                if self._span is None
+                else self._epoch + self._span
+            )
+        item = self._items[self._index]
+        self._index += 1
+        stamp = self._item_time(item)
+        if stamp is not None and self._base is not None:
+            self._clock = self._epoch + (stamp - self._base)
+        else:
+            self._clock += 1.0 / self._frequency
+        return item.copy()
+
+    @property
+    def remaining(self) -> int:
+        """Items left in the current pass (unbounded traces loop)."""
+        return len(self._items) - self._index
+
+    def _item_time(self, item: Element) -> Optional[float]:
+        if self._reference is None:
+            return None
+        return self._reference.number(item)

@@ -1,0 +1,79 @@
+"""WXQuery — the Windowed XQuery subscription language (paper Section 2).
+
+The front end in three stages:
+
+>>> from repro.wxquery import parse_query, analyze
+>>> q = parse_query('''
+...   <photons>{ for $p in stream("photons")/photons/photon
+...              where $p/en >= 1.3
+...              return <hot> { $p/en } </hot> }</photons>''')
+>>> a = analyze(q)
+>>> a.streams()
+['photons']
+"""
+
+from .analyzer import AnalyzedQuery, Binding, ResolvedAtom, analyze
+from .ast import (
+    AGGREGATE_FUNCTIONS,
+    Comparison,
+    Condition,
+    DirectElement,
+    EmptyElement,
+    EnclosedExpr,
+    Expr,
+    FLWRExpr,
+    ForClause,
+    IfExpr,
+    LetClause,
+    Operand,
+    PathOutput,
+    Query,
+    SequenceExpr,
+    StreamSource,
+    VarOutput,
+    WindowClause,
+    conjunction,
+    fraction_to_literal,
+    literal_to_fraction,
+)
+from .errors import AnalysisError, LexError, ParseError, WXQueryError
+from .lexer import Token, tokenize
+from .parser import parse_query
+from .unparse import unparse, unparse_expr
+
+__all__ = [
+    "AGGREGATE_FUNCTIONS",
+    "AnalyzedQuery",
+    "AnalysisError",
+    "Binding",
+    "Comparison",
+    "Condition",
+    "DirectElement",
+    "EmptyElement",
+    "EnclosedExpr",
+    "Expr",
+    "FLWRExpr",
+    "ForClause",
+    "IfExpr",
+    "LetClause",
+    "LexError",
+    "Operand",
+    "ParseError",
+    "PathOutput",
+    "Query",
+    "ResolvedAtom",
+    "SequenceExpr",
+    "StreamSource",
+    "Token",
+    "VarOutput",
+    "WXQueryError",
+    "WindowClause",
+    "analyze",
+    "conjunction",
+    "fraction_to_literal",
+    "literal_to_fraction",
+    "parse_query",
+    "tokenize",
+    "unparse",
+    "unparse_expr",
+]

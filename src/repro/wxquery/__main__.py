@@ -1,0 +1,116 @@
+"""Command-line WXQuery inspector.
+
+Parse a subscription and show what the system derives from it::
+
+    python -m repro.wxquery check  query.xq     # validate (exit code)
+    python -m repro.wxquery ast    query.xq     # canonical (unparsed) form
+    python -m repro.wxquery info   query.xq     # bindings, predicates, windows
+    python -m repro.wxquery props  query.xq     # properties + predicate graphs
+
+Pass ``-`` (or nothing) to read from stdin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, TextIO
+
+from ..properties import extract_from_analysis
+from .analyzer import analyze
+from .errors import WXQueryError
+from .parser import parse_query
+from .unparse import unparse
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def cmd_check(text: str, out: TextIO) -> int:
+    analyze(parse_query(text))
+    print("OK: valid WXQuery (flat fragment)", file=out)
+    return 0
+
+
+def cmd_ast(text: str, out: TextIO) -> int:
+    print(unparse(parse_query(text)), file=out)
+    return 0
+
+
+def cmd_info(text: str, out: TextIO) -> int:
+    analyzed = analyze(parse_query(text))
+    print(f"input streams : {', '.join(analyzed.streams())}", file=out)
+    for binding in analyzed.bindings.values():
+        window = f" window {binding.window}" if binding.window else ""
+        aggregate = f" {binding.aggregate}()" if binding.aggregate else ""
+        print(
+            f"  ${binding.var}: {binding.kind} over {binding.stream}"
+            f"/{binding.absolute_path}{window}{aggregate}",
+            file=out,
+        )
+    if analyzed.selection:
+        print("selection predicates:", file=out)
+        for atom in analyzed.selection:
+            print(f"  {atom.atom}", file=out)
+    if analyzed.aggregate_filters:
+        print("aggregate filters:", file=out)
+        for atom in analyzed.aggregate_filters:
+            print(f"  {atom.atom}", file=out)
+    for stream, paths in sorted(analyzed.referenced_paths.items()):
+        rendered = ", ".join(sorted(str(p) for p in paths))
+        print(f"referenced in {stream}: {rendered}", file=out)
+    return 0
+
+
+def cmd_props(text: str, out: TextIO) -> int:
+    analyzed = analyze(parse_query(text))
+    properties = extract_from_analysis(analyzed, "query")
+    for stream_properties in properties.inputs:
+        print(f"input stream '{stream_properties.stream}' "
+              f"(items at {stream_properties.item_path}):", file=out)
+        if stream_properties.is_raw:
+            print("  (raw: no operators)", file=out)
+        for op in stream_properties.operators:
+            print(f"  {op.kind}: {op}", file=out)
+        selection = stream_properties.selection
+        if selection is not None:
+            print("  predicate graph edges:", file=out)
+            for atom in selection.graph.atoms():
+                print(f"    {atom.source} -> {atom.target}  weight {atom.bound}", file=out)
+    return 0
+
+
+COMMANDS = {
+    "check": cmd_check,
+    "ast": cmd_ast,
+    "info": cmd_info,
+    "props": cmd_props,
+}
+
+
+def main(argv: Optional[list] = None, out: TextIO = sys.stdout) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.wxquery",
+        description="Inspect WXQuery subscriptions.",
+    )
+    parser.add_argument("command", choices=sorted(COMMANDS))
+    parser.add_argument("file", nargs="?", default="-",
+                        help="query file, or '-' for stdin (default)")
+    args = parser.parse_args(argv)
+    try:
+        text = _read(args.file)
+        return COMMANDS[args.command](text, out)
+    except WXQueryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

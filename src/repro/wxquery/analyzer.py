@@ -1,0 +1,394 @@
+"""Semantic analysis of parsed WXQuery subscriptions.
+
+The analyzer checks the restrictions of the fragment (Section 2) that
+the grammar alone cannot express, resolves variable scopes, rewrites all
+condition operands to *absolute paths* (paths from the stream root, the
+form the predicate graphs of Section 3.3 use as node labels), and
+classifies every ``where`` atom as either a stream selection predicate
+or a filter on an aggregation result.
+
+The resulting :class:`AnalyzedQuery` is the hand-off point to the
+properties extraction (:mod:`repro.properties.extract`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from ..xmlkit import Path
+from .ast import (
+    Comparison,
+    Condition,
+    DirectElement,
+    EmptyElement,
+    EnclosedExpr,
+    Expr,
+    FLWRExpr,
+    ForClause,
+    IfExpr,
+    LetClause,
+    Operand,
+    PathOutput,
+    Query,
+    SequenceExpr,
+    StreamSource,
+    VarOutput,
+    WindowClause,
+)
+from .errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class Binding:
+    """Resolution of one ``for`` or ``let`` variable.
+
+    Attributes
+    ----------
+    var:
+        Variable name (without ``$``).
+    kind:
+        ``"for"`` or ``"let"``.
+    stream:
+        Name of the originating input stream.
+    absolute_path:
+        For a ``for`` binding: path from the stream root to the bound
+        items (e.g. ``photons/photon``).  For a ``let`` binding: the
+        absolute path of the aggregated element.
+    window:
+        The data window attached to the binding, if any.
+    aggregate:
+        For ``let`` bindings: the aggregation function name.
+    source_var:
+        For ``let`` bindings: the windowed ``for`` variable aggregated
+        over; for chained ``for`` bindings: the parent variable.
+    """
+
+    var: str
+    kind: str
+    stream: str
+    absolute_path: Path
+    window: Optional[WindowClause] = None
+    aggregate: Optional[str] = None
+    source_var: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ResolvedAtom:
+    """A ``where``/path predicate with absolute-path operands.
+
+    ``left_binding`` (and ``right_binding`` for variable comparisons)
+    name the binding whose subtree each operand navigates, so consumers
+    can distinguish stream selections from aggregate filters.
+    """
+
+    atom: Comparison
+    left_binding: Binding
+    left_path: Path
+    right_binding: Optional[Binding] = None
+    right_path: Optional[Path] = None
+
+    @property
+    def is_aggregate_filter(self) -> bool:
+        return self.left_binding.kind == "let"
+
+
+@dataclass
+class AnalyzedQuery:
+    """A subscription with resolved scopes and classified predicates."""
+
+    query: Query
+    flwr: FLWRExpr
+    bindings: Dict[str, Binding]
+    #: Stream selection atoms (conjunctive), with absolute paths.
+    selection: List[ResolvedAtom] = field(default_factory=list)
+    #: Atoms filtering aggregation results, e.g. ``$a >= 1.3``.
+    aggregate_filters: List[ResolvedAtom] = field(default_factory=list)
+    #: Absolute paths referenced anywhere, per stream (the set R' of
+    #: Algorithm 2 — marked and unmarked projection elements).
+    referenced_paths: Dict[str, Set[Path]] = field(default_factory=dict)
+    #: Absolute paths whose subtrees appear in the result, per stream
+    #: (the bullet-marked output elements of Figure 3).
+    output_paths: Dict[str, Set[Path]] = field(default_factory=dict)
+    #: ``True`` when no FLWR is nested inside another FLWR's return.
+    is_flat: bool = True
+
+    def streams(self) -> List[str]:
+        """Input stream names in binding order."""
+        seen: List[str] = []
+        for binding in self.bindings.values():
+            if binding.kind == "for" and binding.stream not in seen:
+                seen.append(binding.stream)
+        return seen
+
+    def binding_for_stream(self, stream: str) -> Binding:
+        for binding in self.bindings.values():
+            if binding.kind == "for" and binding.stream == stream:
+                return binding
+        raise AnalysisError(f"no binding over stream {stream!r}")
+
+    def aggregations(self) -> List[Binding]:
+        return [b for b in self.bindings.values() if b.kind == "let"]
+
+
+def analyze(query: Query) -> AnalyzedQuery:
+    """Analyze ``query``; raises :class:`AnalysisError` on violations."""
+    flwr = _main_flwr(query.body)
+    analyzer = _Analyzer(query, flwr)
+    analyzer.run()
+    return analyzer.result
+
+
+def _main_flwr(expr: Expr) -> FLWRExpr:
+    """Locate the single top-level FLWR, unwrapping constructors.
+
+    The paper's flat subscriptions are element constructors wrapping one
+    FLWR (Queries 1–4 all have this shape).
+    """
+    found: List[FLWRExpr] = []
+    _find_flwrs(expr, found, top_only=True)
+    if not found:
+        raise AnalysisError("subscription contains no FLWR expression")
+    if len(found) > 1:
+        raise AnalysisError(
+            "subscription has multiple top-level FLWR expressions; "
+            "the flat fragment supports exactly one"
+        )
+    return found[0]
+
+
+def _find_flwrs(expr: Expr, out: List[FLWRExpr], top_only: bool) -> None:
+    if isinstance(expr, FLWRExpr):
+        out.append(expr)
+        if not top_only:
+            _find_flwrs(expr.return_expr, out, top_only)
+        return
+    if isinstance(expr, DirectElement):
+        for item in expr.content:
+            _find_flwrs(item, out, top_only)
+    elif isinstance(expr, EnclosedExpr):
+        _find_flwrs(expr.body, out, top_only)
+    elif isinstance(expr, IfExpr):
+        _find_flwrs(expr.then_branch, out, top_only)
+        _find_flwrs(expr.else_branch, out, top_only)
+    elif isinstance(expr, SequenceExpr):
+        for item in expr.items:
+            _find_flwrs(item, out, top_only)
+
+
+class _Analyzer:
+    def __init__(self, query: Query, flwr: FLWRExpr) -> None:
+        self.result = AnalyzedQuery(query=query, flwr=flwr, bindings={})
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        self._bind_clauses()
+        self._resolve_conditions()
+        self._collect_outputs(self.result.flwr.return_expr)
+        self._check_flatness()
+
+    # ------------------------------------------------------------------
+    # Clause binding
+    # ------------------------------------------------------------------
+    def _bind_clauses(self) -> None:
+        bindings = self.result.bindings
+        for clause in self.result.flwr.clauses:
+            if isinstance(clause, ForClause):
+                binding = self._bind_for(clause, bindings)
+            else:
+                binding = self._bind_let(clause, bindings)
+            if binding.var in bindings:
+                raise AnalysisError(f"variable ${binding.var} bound twice")
+            bindings[binding.var] = binding
+        streams = [b.stream for b in bindings.values() if b.kind == "for" and b.source_var is None]
+        if len(streams) != len(set(streams)):
+            raise AnalysisError(
+                "multiple for-bindings over the same input stream (self-joins "
+                "are outside the supported fragment)"
+            )
+
+    def _bind_for(self, clause: ForClause, bindings: Dict[str, Binding]) -> Binding:
+        if isinstance(clause.source, StreamSource):
+            stream = clause.source.name
+            absolute = clause.path
+            source_var: Optional[str] = None
+            if clause.source.function == "doc":
+                raise AnalysisError(
+                    "doc() inputs are static documents; this reproduction "
+                    "covers continuous stream() inputs only"
+                )
+            if len(absolute) < 1:
+                raise AnalysisError(
+                    f"for ${clause.var}: a stream binding needs a path to the items"
+                )
+        else:
+            parent = bindings.get(clause.source)
+            if parent is None:
+                raise AnalysisError(f"for ${clause.var}: undefined variable ${clause.source}")
+            if parent.kind != "for":
+                raise AnalysisError(
+                    f"for ${clause.var}: cannot iterate an aggregation result ${clause.source}"
+                )
+            stream = parent.stream
+            absolute = Path(parent.absolute_path.steps + clause.path.steps)
+            source_var = clause.source
+        if clause.window is not None and clause.window.kind == "diff":
+            reference = clause.window.reference
+            assert reference is not None  # enforced by WindowClause
+        # Resolve implicit operands in path conditions to this variable.
+        if clause.path_condition is not None:
+            for atom in clause.path_condition.atoms:
+                if atom.left.var is not None and atom.left.var not in bindings:
+                    if atom.left.var != clause.var:
+                        raise AnalysisError(
+                            f"for ${clause.var}: path condition references "
+                            f"undefined variable ${atom.left.var}"
+                        )
+        return Binding(
+            var=clause.var,
+            kind="for",
+            stream=stream,
+            absolute_path=absolute,
+            window=clause.window,
+            source_var=source_var,
+        )
+
+    def _bind_let(self, clause: LetClause, bindings: Dict[str, Binding]) -> Binding:
+        source = bindings.get(clause.source_var)
+        if source is None:
+            raise AnalysisError(f"let ${clause.var}: undefined variable ${clause.source_var}")
+        if source.kind != "for":
+            raise AnalysisError(
+                f"let ${clause.var}: aggregation must range over a for-bound variable"
+            )
+        if source.window is None:
+            raise AnalysisError(
+                f"let ${clause.var}: {clause.function}() requires a data window on "
+                f"${clause.source_var} (window-based aggregation, Section 2)"
+            )
+        aggregated = Path(source.absolute_path.steps + clause.path.steps)
+        return Binding(
+            var=clause.var,
+            kind="let",
+            stream=source.stream,
+            absolute_path=aggregated,
+            window=source.window,
+            aggregate=clause.function,
+            source_var=clause.source_var,
+        )
+
+    # ------------------------------------------------------------------
+    # Conditions
+    # ------------------------------------------------------------------
+    def _resolve_conditions(self) -> None:
+        flwr = self.result.flwr
+        for clause in flwr.clauses:
+            if isinstance(clause, ForClause) and clause.path_condition is not None:
+                condition = clause.path_condition.resolved(clause.var)
+                for atom in condition.atoms:
+                    self._classify_atom(atom, from_path_condition=True)
+        if flwr.where is not None:
+            for atom in flwr.where.atoms:
+                self._classify_atom(atom, from_path_condition=False)
+
+    def _classify_atom(self, atom: Comparison, from_path_condition: bool) -> None:
+        if atom.op == "!=":
+            raise AnalysisError(
+                f"'!=' is not in the fragment's operator set θ: {atom}"
+            )
+        left_binding, left_path = self._resolve_operand(atom.left)
+        resolved = ResolvedAtom(atom, left_binding, left_path)
+        if atom.right_operand is not None:
+            right_binding, right_path = self._resolve_operand(atom.right_operand)
+            if left_binding.kind == "let" or right_binding.kind == "let":
+                raise AnalysisError(
+                    f"aggregation results can only be compared to constants: {atom}"
+                )
+            if left_binding.stream != right_binding.stream:
+                raise AnalysisError(
+                    f"cross-stream predicates (joins) are outside the flat "
+                    f"fragment: {atom}"
+                )
+            resolved = ResolvedAtom(atom, left_binding, left_path, right_binding, right_path)
+        if resolved.is_aggregate_filter:
+            if from_path_condition:
+                raise AnalysisError(
+                    f"path conditions cannot reference aggregation results: {atom}"
+                )
+            if not atom.left.path.is_empty():
+                raise AnalysisError(
+                    f"an aggregation result is a scalar; navigation into it is "
+                    f"invalid: {atom}"
+                )
+            self.result.aggregate_filters.append(resolved)
+        else:
+            self.result.selection.append(resolved)
+            self._reference(left_binding.stream, left_path)
+            if resolved.right_path is not None and resolved.right_binding is not None:
+                self._reference(resolved.right_binding.stream, resolved.right_path)
+
+    def _resolve_operand(self, operand: Operand) -> Tuple[Binding, Path]:
+        if operand.var is None:
+            raise AnalysisError(f"unresolved implicit operand {operand}")
+        binding = self.result.bindings.get(operand.var)
+        if binding is None:
+            raise AnalysisError(f"undefined variable ${operand.var}")
+        absolute = Path(binding.absolute_path.steps + operand.path.steps)
+        return binding, absolute
+
+    # ------------------------------------------------------------------
+    # Output / projection analysis
+    # ------------------------------------------------------------------
+    def _reference(self, stream: str, path: Path) -> None:
+        self.result.referenced_paths.setdefault(stream, set()).add(path)
+
+    def _output(self, stream: str, path: Path) -> None:
+        self.result.output_paths.setdefault(stream, set()).add(path)
+        self._reference(stream, path)
+
+    def _collect_outputs(self, expr: Expr) -> None:
+        if isinstance(expr, (EmptyElement,)):
+            return
+        if isinstance(expr, DirectElement):
+            for item in expr.content:
+                self._collect_outputs(item)
+        elif isinstance(expr, EnclosedExpr):
+            self._collect_outputs(expr.body)
+        elif isinstance(expr, SequenceExpr):
+            for item in expr.items:
+                self._collect_outputs(item)
+        elif isinstance(expr, IfExpr):
+            for atom in expr.condition.atoms:
+                self._classify_atom(atom, from_path_condition=False)
+            self._collect_outputs(expr.then_branch)
+            self._collect_outputs(expr.else_branch)
+        elif isinstance(expr, PathOutput):
+            binding = self.result.bindings.get(expr.var)
+            if binding is None:
+                raise AnalysisError(f"undefined variable ${expr.var} in output")
+            if binding.kind == "let":
+                raise AnalysisError(
+                    f"an aggregation result is a scalar; navigation into "
+                    f"${expr.var} is invalid"
+                )
+            self._output(binding.stream, Path(binding.absolute_path.steps + expr.path.steps))
+        elif isinstance(expr, VarOutput):
+            binding = self.result.bindings.get(expr.var)
+            if binding is None:
+                raise AnalysisError(f"undefined variable ${expr.var} in output")
+            if binding.kind == "let":
+                # Aggregate outputs are tracked via the binding itself.
+                return
+            self._output(binding.stream, binding.absolute_path)
+        elif isinstance(expr, FLWRExpr):
+            raise AnalysisError(
+                "nested FLWR expressions are outside the flat fragment "
+                "(the paper defers nesting to future work)"
+            )
+        else:
+            raise AnalysisError(f"unsupported expression in return clause: {expr!r}")
+
+    def _check_flatness(self) -> None:
+        nested: List[FLWRExpr] = []
+        _find_flwrs(self.result.flwr.return_expr, nested, top_only=True)
+        self.result.is_flat = not nested

@@ -1,0 +1,36 @@
+"""Errors raised by the WXQuery front end."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class WXQueryError(Exception):
+    """Base class for all WXQuery front-end errors."""
+
+
+class LexError(WXQueryError):
+    """Raised on characters or token shapes the lexer cannot handle."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        self.line = line
+        self.column = column
+        super().__init__(f"{message} (line {line}, column {column})")
+
+
+class ParseError(WXQueryError):
+    """Raised when the token stream does not match the WXQuery grammar."""
+
+    def __init__(self, message: str, line: Optional[int] = None, column: Optional[int] = None) -> None:
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class AnalysisError(WXQueryError):
+    """Raised when a syntactically valid query violates the fragment's
+    semantic restrictions (Definition 2.1 and Section 2): undefined
+    variables, nested FLWRs beyond the supported shape, non-conjunctive
+    conditions, aggregation over a non-window variable, and so on."""

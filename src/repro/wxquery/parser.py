@@ -1,0 +1,366 @@
+"""Recursive-descent parser for WXQuery.
+
+The grammar is exactly Definition 2.1 of the paper.  The parser builds
+:mod:`repro.wxquery.ast` nodes and performs *no* semantic checks beyond
+what the grammar forces — variable scoping, fragment restrictions, and
+schema checks live in :mod:`repro.wxquery.analyzer`.
+
+Entry point: :func:`parse_query`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Tuple, Union
+
+from ..xmlkit import Path
+from .ast import (
+    AGGREGATE_FUNCTIONS,
+    Comparison,
+    Condition,
+    DirectElement,
+    EmptyElement,
+    EnclosedExpr,
+    Expr,
+    FLWRExpr,
+    ForClause,
+    IfExpr,
+    LetClause,
+    Operand,
+    PathOutput,
+    Query,
+    SequenceExpr,
+    StreamSource,
+    VarOutput,
+    WindowClause,
+    literal_to_fraction,
+)
+from .errors import ParseError
+from .lexer import Token, tokenize
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # ------------------------------------------------------------------
+    # Token stream helpers
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def _peek_kind(self, offset: int = 0) -> str:
+        index = self.index + offset
+        if index >= len(self.tokens):
+            return "EOF"
+        return self.tokens[index].kind
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.kind != "EOF":
+            self.index += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> ParseError:
+        token = token or self.current
+        return ParseError(message, token.line, token.column)
+
+    def _expect(self, kind: str, what: str) -> Token:
+        if self.current.kind != kind:
+            raise self._error(f"expected {what}, found {self.current.value!r}")
+        return self._advance()
+
+    def _at_keyword(self, word: str) -> bool:
+        return self.current.kind == "NAME" and self.current.value == word
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._at_keyword(word):
+            raise self._error(f"expected keyword {word!r}, found {self.current.value!r}")
+        self._advance()
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def parse_query(self) -> Query:
+        body = self.parse_expr()
+        if self.current.kind != "EOF":
+            raise self._error(f"unexpected trailing input {self.current.value!r}")
+        return Query(body=body, source_text=self.text)
+
+    def parse_expr(self) -> Expr:
+        kind = self.current.kind
+        if kind == "EMPTY_TAG":
+            return EmptyElement(self._advance().value)
+        if kind == "OPEN_TAG":
+            return self._parse_direct_element()
+        if kind == "NAME" and self.current.value in ("for", "let"):
+            return self._parse_flwr()
+        if kind == "NAME" and self.current.value == "if":
+            return self._parse_if()
+        if kind == "VARIABLE":
+            return self._parse_output()
+        if kind == "LPAREN":
+            return self._parse_sequence()
+        raise self._error(f"unexpected token {self.current.value!r} at start of expression")
+
+    def _parse_direct_element(self) -> DirectElement:
+        open_token = self._advance()
+        content: List[Expr] = []
+        while True:
+            kind = self.current.kind
+            if kind == "CLOSE_TAG":
+                close_token = self._advance()
+                if close_token.value != open_token.value:
+                    raise self._error(
+                        f"mismatched close tag </{close_token.value}> for "
+                        f"<{open_token.value}>",
+                        close_token,
+                    )
+                return DirectElement(open_token.value, tuple(content))
+            if kind == "EMPTY_TAG":
+                content.append(EmptyElement(self._advance().value))
+            elif kind == "OPEN_TAG":
+                content.append(self._parse_direct_element())
+            elif kind == "LBRACE":
+                self._advance()
+                content.append(EnclosedExpr(self.parse_expr()))
+                self._expect("RBRACE", "'}'")
+            elif kind == "EOF":
+                raise self._error(f"unterminated element <{open_token.value}>", open_token)
+            else:
+                raise self._error(
+                    f"unexpected {self.current.value!r} inside <{open_token.value}> "
+                    "(only element constructors and '{...}' are allowed)"
+                )
+
+    def _parse_flwr(self) -> FLWRExpr:
+        clauses: List[Union[ForClause, LetClause]] = []
+        while True:
+            if self._at_keyword("for"):
+                self._advance()
+                clauses.append(self._parse_for_clause())
+            elif self._at_keyword("let"):
+                self._advance()
+                clauses.append(self._parse_let_clause())
+            else:
+                break
+        if not clauses:
+            raise self._error("expected 'for' or 'let'")
+        where: Optional[Condition] = None
+        if self._at_keyword("where"):
+            self._advance()
+            where = self._parse_condition()
+        self._expect_keyword("return")
+        return_expr = self.parse_expr()
+        return FLWRExpr(tuple(clauses), where, return_expr)
+
+    def _parse_for_clause(self) -> ForClause:
+        var = self._expect("VARIABLE", "a variable after 'for'").value
+        self._expect_keyword("in")
+        source = self._parse_binding_source()
+        path, path_condition = self._parse_conditioned_path()
+        window: Optional[WindowClause] = None
+        if self.current.kind == "PIPE":
+            window = self._parse_window()
+        return ForClause(var, source, path, path_condition, window)
+
+    def _parse_binding_source(self) -> Union[StreamSource, str]:
+        if self.current.kind == "VARIABLE":
+            return self._advance().value
+        if self.current.kind == "NAME" and self.current.value in ("stream", "doc"):
+            function = self._advance().value
+            self._expect("LPAREN", "'('")
+            name = self._expect("STRING", "a quoted stream name").value
+            self._expect("RPAREN", "')'")
+            return StreamSource(function, name)
+        raise self._error(
+            f"expected a variable or stream()/doc() call, found {self.current.value!r}"
+        )
+
+    def _parse_conditioned_path(self) -> Tuple[Path, Optional[Condition]]:
+        """Parse ``[[/π̄]]?``: slash-separated steps with optional ``[χ]``.
+
+        Conditions attached to any step are collected into a single
+        conjunction with operands left implicit (bare paths relative to
+        the bound variable); the analyzer resolves them.
+        """
+        steps: List[str] = []
+        atoms: List[Comparison] = []
+        while self.current.kind == "SLASH":
+            self._advance()
+            step = self._expect("NAME", "a path step").value
+            steps.append(step)
+            while self.current.kind == "LBRACKET":
+                bracket = self._advance()
+                condition = self._parse_condition(allow_bare_paths=True)
+                atoms.append((len(steps), bracket, condition))  # type: ignore[arg-type]
+                self._expect("RBRACKET", "']'")
+        collected: List[Comparison] = []
+        for step_count, bracket, condition in atoms:  # type: ignore[misc]
+            if step_count != len(steps):
+                # A predicate on an intermediate step cannot be rewritten
+                # relative to the bound item; the paper only attaches
+                # conditions to the binding's final step.
+                raise self._error(
+                    "path conditions are only supported on the final step",
+                    bracket,
+                )
+            collected.extend(condition.atoms)
+        path = Path(tuple(steps))
+        return path, Condition(tuple(collected)) if collected else None
+
+    def _parse_window(self) -> WindowClause:
+        self._expect("PIPE", "'|'")
+        if self._at_keyword("count"):
+            self._advance()
+            kind = "count"
+            reference: Optional[Path] = None
+        else:
+            reference = self._parse_bare_path("a window reference element")
+            self._expect_keyword("diff")
+            kind = "diff"
+        size = self._parse_number("a window size")
+        step: Optional[Fraction] = None
+        if self._at_keyword("step"):
+            self._advance()
+            step = self._parse_number("a step size")
+        self._expect("PIPE", "closing '|' of the window")
+        return WindowClause(kind, size, step, reference)
+
+    def _parse_let_clause(self) -> LetClause:
+        var = self._expect("VARIABLE", "a variable after 'let'").value
+        self._expect("ASSIGN", "':='")
+        func_token = self._expect("NAME", "an aggregation function")
+        function = func_token.value
+        if function not in AGGREGATE_FUNCTIONS:
+            raise self._error(
+                f"unknown aggregation function {function!r} "
+                f"(expected one of {', '.join(AGGREGATE_FUNCTIONS)})",
+                func_token,
+            )
+        self._expect("LPAREN", "'('")
+        source_var = self._expect("VARIABLE", "the aggregated variable").value
+        path = Path(())
+        if self.current.kind == "SLASH":
+            path = self._parse_slash_path()
+        self._expect("RPAREN", "')'")
+        return LetClause(var, function, source_var, path)
+
+    def _parse_if(self) -> IfExpr:
+        self._expect_keyword("if")
+        condition = self._parse_condition()
+        self._expect_keyword("then")
+        then_branch = self.parse_expr()
+        self._expect_keyword("else")
+        else_branch = self.parse_expr()
+        return IfExpr(condition, then_branch, else_branch)
+
+    def _parse_output(self) -> Expr:
+        var = self._advance().value
+        if self.current.kind == "SLASH":
+            return PathOutput(var, self._parse_slash_path())
+        return VarOutput(var)
+
+    def _parse_sequence(self) -> SequenceExpr:
+        self._expect("LPAREN", "'('")
+        items: List[Expr] = []
+        if self.current.kind != "RPAREN":
+            items.append(self.parse_expr())
+            while self.current.kind == "COMMA":
+                self._advance()
+                items.append(self.parse_expr())
+        self._expect("RPAREN", "')'")
+        return SequenceExpr(tuple(items))
+
+    # ------------------------------------------------------------------
+    # Paths, conditions, numbers
+    # ------------------------------------------------------------------
+    def _parse_slash_path(self) -> Path:
+        steps: List[str] = []
+        while self.current.kind == "SLASH":
+            self._advance()
+            steps.append(self._expect("NAME", "a path step").value)
+        if not steps:
+            raise self._error("expected a path after '/'")
+        return Path(tuple(steps))
+
+    def _parse_bare_path(self, what: str) -> Path:
+        steps = [self._expect("NAME", what).value]
+        while self.current.kind == "SLASH":
+            self._advance()
+            steps.append(self._expect("NAME", "a path step").value)
+        return Path(tuple(steps))
+
+    def _parse_condition(self, allow_bare_paths: bool = False) -> Condition:
+        atoms = [self._parse_comparison(allow_bare_paths)]
+        while self._at_keyword("and"):
+            self._advance()
+            atoms.append(self._parse_comparison(allow_bare_paths))
+        return Condition(tuple(atoms))
+
+    def _parse_comparison(self, allow_bare_paths: bool) -> Comparison:
+        left = self._parse_operand(allow_bare_paths)
+        op_map = {"EQ": "=", "LT": "<", "LE": "<=", "GT": ">", "GE": ">=", "NE": "!="}
+        if self.current.kind not in op_map:
+            raise self._error(f"expected a comparison operator, found {self.current.value!r}")
+        op = op_map[self._advance().kind]
+
+        if self.current.kind in ("NUMBER", "MINUS") and not (
+            self.current.kind == "MINUS" and self._peek_kind(1) == "VARIABLE"
+        ):
+            constant, lexeme = self._parse_signed_number()
+            return Comparison(left, op, None, constant, lexeme)
+
+        right = self._parse_operand(allow_bare_paths)
+        constant = Fraction(0)
+        lexeme: Optional[str] = None
+        if self.current.kind in ("PLUS", "MINUS"):
+            sign = 1 if self._advance().kind == "PLUS" else -1
+            magnitude, lexeme = self._parse_signed_number()
+            constant = sign * magnitude
+            if sign < 0:
+                lexeme = None  # lexeme no longer matches the value
+        return Comparison(left, op, right, constant, lexeme)
+
+    def _parse_operand(self, allow_bare_paths: bool) -> Operand:
+        if self.current.kind == "VARIABLE":
+            var = self._advance().value
+            path = Path(())
+            if self.current.kind == "SLASH":
+                path = self._parse_slash_path()
+            return Operand(var, path)
+        if allow_bare_paths and self.current.kind == "NAME":
+            return Operand(None, self._parse_bare_path("a path"))
+        raise self._error(
+            f"expected an operand ($var/path), found {self.current.value!r}"
+        )
+
+    def _parse_number(self, what: str) -> Fraction:
+        value, _ = self._parse_signed_number(what)
+        return value
+
+    def _parse_signed_number(self, what: str = "a number") -> Tuple[Fraction, str]:
+        negative = False
+        if self.current.kind == "MINUS":
+            self._advance()
+            negative = True
+        token = self._expect("NUMBER", what)
+        value = literal_to_fraction(token.value)
+        lexeme = token.value
+        if negative:
+            value = -value
+            lexeme = "-" + lexeme
+        return value, lexeme
+
+
+def parse_query(text: str) -> Query:
+    """Parse a WXQuery subscription into its AST.
+
+    >>> q = parse_query('<r>{ for $p in stream("s")/a/b return $p }</r>')
+    >>> q.streams()
+    ['s']
+    """
+    return _Parser(text).parse_query()

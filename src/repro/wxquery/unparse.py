@@ -1,0 +1,124 @@
+"""Unparser: render a WXQuery AST back to source text.
+
+Mainly used by tests (parse → unparse → parse round-trips must yield an
+equal AST), by the workload generator when it materializes template
+instances, and in log/debug output of the sharing optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast import (
+    Condition,
+    DirectElement,
+    EmptyElement,
+    EnclosedExpr,
+    Expr,
+    FLWRExpr,
+    ForClause,
+    IfExpr,
+    LetClause,
+    PathOutput,
+    Query,
+    SequenceExpr,
+    StreamSource,
+    VarOutput,
+    fraction_to_literal,
+)
+
+
+def unparse(query: Query) -> str:
+    """Render ``query`` as a single-line WXQuery string."""
+    return unparse_expr(query.body)
+
+
+def unparse_expr(expr: Expr) -> str:
+    if isinstance(expr, EmptyElement):
+        return f"<{expr.tag}/>"
+    if isinstance(expr, DirectElement):
+        inner = " ".join(unparse_expr(item) for item in expr.content)
+        inner = f" {inner} " if inner else ""
+        return f"<{expr.tag}>{inner}</{expr.tag}>"
+    if isinstance(expr, EnclosedExpr):
+        return "{ " + unparse_expr(expr.body) + " }"
+    if isinstance(expr, FLWRExpr):
+        return _unparse_flwr(expr)
+    if isinstance(expr, IfExpr):
+        return (
+            f"if {_unparse_condition(expr.condition)} "
+            f"then {unparse_expr(expr.then_branch)} "
+            f"else {unparse_expr(expr.else_branch)}"
+        )
+    if isinstance(expr, PathOutput):
+        return f"${expr.var}/{expr.path}"
+    if isinstance(expr, VarOutput):
+        return f"${expr.var}"
+    if isinstance(expr, SequenceExpr):
+        return "(" + ", ".join(unparse_expr(item) for item in expr.items) + ")"
+    raise TypeError(f"cannot unparse {expr!r}")
+
+
+def _unparse_flwr(expr: FLWRExpr) -> str:
+    parts: List[str] = []
+    for clause in expr.clauses:
+        if isinstance(clause, ForClause):
+            parts.append(_unparse_for(clause))
+        else:
+            parts.append(_unparse_let(clause))
+    if expr.where is not None and expr.where.atoms:
+        parts.append(f"where {_unparse_condition(expr.where)}")
+    parts.append(f"return {unparse_expr(expr.return_expr)}")
+    return " ".join(parts)
+
+
+def _unparse_for(clause: ForClause) -> str:
+    if isinstance(clause.source, StreamSource):
+        source = str(clause.source)
+    else:
+        source = f"${clause.source}"
+    text = f"for ${clause.var} in {source}"
+    if not clause.path.is_empty():
+        text += f"/{clause.path}"
+    if clause.path_condition is not None and clause.path_condition.atoms:
+        text += f"[{_unparse_condition(clause.path_condition)}]"
+    if clause.window is not None:
+        text += f" {clause.window}"
+    return text
+
+
+def _unparse_let(clause: LetClause) -> str:
+    argument = f"${clause.source_var}"
+    if not clause.path.is_empty():
+        argument += f"/{clause.path}"
+    return f"let ${clause.var} := {clause.function}({argument})"
+
+
+def _unparse_condition(condition: Condition) -> str:
+    parts: List[str] = []
+    for atom in condition.atoms:
+        left = _unparse_operand(atom.left)
+        if atom.right_operand is None:
+            constant = atom.constant_lexeme or fraction_to_literal(atom.constant)
+            parts.append(f"{left} {atom.op} {constant}")
+        else:
+            right = _unparse_operand(atom.right_operand)
+            if atom.constant == 0:
+                parts.append(f"{left} {atom.op} {right}")
+            elif atom.constant > 0:
+                parts.append(
+                    f"{left} {atom.op} {right} + {fraction_to_literal(atom.constant)}"
+                )
+            else:
+                parts.append(
+                    f"{left} {atom.op} {right} - {fraction_to_literal(-atom.constant)}"
+                )
+    return " and ".join(parts)
+
+
+def _unparse_operand(operand) -> str:
+    if operand.var is None:
+        return str(operand.path)
+    if operand.path.is_empty():
+        return f"${operand.var}"
+    return f"${operand.var}/{operand.path}"

@@ -1,0 +1,74 @@
+"""Structural diff of element trees.
+
+Used by tests and debugging sessions to pinpoint *where* two items
+differ instead of staring at serialized strings.  Each difference is a
+:class:`Difference` addressing the divergent node by a position-aware
+path (``coord/cel[0]/ra[0]``) plus a human-readable reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .element import Element
+
+
+@dataclass(frozen=True)
+class Difference:
+    """One structural difference between two trees."""
+
+    path: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.path}: {self.reason}"
+
+
+def diff_elements(expected: Element, actual: Element, _path: str = "") -> List[Difference]:
+    """All structural differences between two trees (empty = equal).
+
+    Children are compared pairwise in document order; surplus children
+    on either side are reported individually.
+    """
+    path = _path or expected.tag
+    differences: List[Difference] = []
+    if expected.tag != actual.tag:
+        differences.append(
+            Difference(path, f"tag <{expected.tag}> != <{actual.tag}>")
+        )
+        return differences  # below this point paths would mislead
+    if expected.text != actual.text:
+        differences.append(
+            Difference(path, f"text {expected.text!r} != {actual.text!r}")
+        )
+    common = min(len(expected.children), len(actual.children))
+    for index in range(common):
+        left, right = expected.children[index], actual.children[index]
+        child_path = f"{path}/{left.tag}[{index}]"
+        differences.extend(diff_elements(left, right, child_path))
+    for index in range(common, len(expected.children)):
+        missing = expected.children[index]
+        differences.append(
+            Difference(f"{path}/{missing.tag}[{index}]", "missing from actual")
+        )
+    for index in range(common, len(actual.children)):
+        surplus = actual.children[index]
+        differences.append(
+            Difference(f"{path}/{surplus.tag}[{index}]", "unexpected in actual")
+        )
+    return differences
+
+
+def assert_elements_equal(expected: Element, actual: Element) -> None:
+    """Raise ``AssertionError`` listing every difference (test helper)."""
+    differences = diff_elements(expected, actual)
+    if differences:
+        listing = "\n  ".join(str(d) for d in differences)
+        raise AssertionError(f"elements differ:\n  {listing}")
+
+
+def first_difference(expected: Element, actual: Element) -> str:
+    """The first difference as text, or ``"equal"``."""
+    differences = diff_elements(expected, actual)
+    return str(differences[0]) if differences else "equal"

@@ -1,0 +1,208 @@
+"""A lightweight XML element model.
+
+The paper's data model (Section 2) restricts itself to elements: XML
+attributes "can always be converted into corresponding elements", so the
+model here stores a tag, an optional text value, and a list of child
+elements.  This is intentionally much smaller than a DOM: the stream
+engine creates and destroys millions of elements while pumping photon
+streams through operator pipelines, and the traffic accounting needs a
+precise, cheap serialized-size computation.
+
+The public entry points are :class:`Element` and the convenience
+constructor :func:`element`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+Scalar = Union[str, int, float]
+
+
+def _coerce_text(value: Optional[Scalar]) -> Optional[str]:
+    """Normalize a scalar into the canonical text representation.
+
+    Integers keep their plain decimal form; floats use ``repr`` so that
+    round-tripping through serialization is lossless for the finite
+    decimal values the paper's predicates allow.
+    """
+    if value is None:
+        return None
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("boolean element text is not part of the data model")
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        # repr() gives the shortest string that round-trips; strip a
+        # trailing ".0" is deliberately NOT done so typed-ness survives.
+        return repr(value)
+    raise TypeError(f"unsupported text type: {type(value)!r}")
+
+
+class Element:
+    """A single XML element: tag, optional text, ordered children.
+
+    Mixed content (text interleaved with children) is not part of the
+    paper's data model and is rejected: an element carries either text or
+    children, never both.
+
+    Parameters
+    ----------
+    tag:
+        The element name.  Must be a valid XML name (checked loosely:
+        non-empty, no whitespace or markup characters).
+    text:
+        Optional scalar content.  Numbers are canonicalized to strings.
+    children:
+        Optional iterable of child :class:`Element` objects.
+    """
+
+    __slots__ = ("tag", "text", "children")
+
+    def __init__(
+        self,
+        tag: str,
+        text: Optional[Scalar] = None,
+        children: Optional[Iterable["Element"]] = None,
+    ) -> None:
+        if not tag or any(c in tag for c in " \t\n\r<>&/'\""):
+            raise ValueError(f"invalid element tag: {tag!r}")
+        self.tag = tag
+        self.text = _coerce_text(text)
+        self.children: List[Element] = list(children) if children else []
+        if self.text is not None and self.children:
+            raise ValueError(
+                f"element <{tag}> cannot carry both text and children "
+                "(mixed content is outside the paper's data model)"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def append(self, child: "Element") -> None:
+        """Add ``child`` as the last child of this element."""
+        if self.text is not None:
+            raise ValueError(f"element <{self.tag}> has text; cannot add children")
+        self.children.append(child)
+
+    def extend(self, children: Iterable["Element"]) -> None:
+        """Append every element of ``children`` in order."""
+        for child in children:
+            self.append(child)
+
+    def copy(self) -> "Element":
+        """Return a deep copy of this subtree."""
+        return Element(self.tag, self.text, (c.copy() for c in self.children))
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+    def child(self, tag: str) -> Optional["Element"]:
+        """Return the first child with the given tag, or ``None``."""
+        for c in self.children:
+            if c.tag == tag:
+                return c
+        return None
+
+    def find(self, steps: Sequence[str]) -> Optional["Element"]:
+        """Follow a child-axis path given as a sequence of tag names.
+
+        Returns the first element reached, or ``None`` when any step has
+        no matching child.  An empty path returns ``self``.
+        """
+        node: Optional[Element] = self
+        for step in steps:
+            if node is None:
+                return None
+            node = node.child(step)
+        return node
+
+    def find_all(self, steps: Sequence[str]) -> List["Element"]:
+        """Return every element reachable via the child-axis path."""
+        frontier = [self]
+        for step in steps:
+            frontier = [c for node in frontier for c in node.children if c.tag == step]
+            if not frontier:
+                return []
+        return frontier
+
+    def value(self, steps: Sequence[str]) -> Optional[str]:
+        """Return the text of the first element on ``steps``, or ``None``."""
+        node = self.find(steps)
+        return None if node is None else node.text
+
+    def number(self, steps: Sequence[str]) -> Optional[float]:
+        """Return the numeric value of the first element on ``steps``.
+
+        Returns ``None`` when the path does not resolve or the text is
+        not a number.
+        """
+        text = self.value(steps)
+        if text is None:
+            return None
+        try:
+            return float(text)
+        except ValueError:
+            return None
+
+    def iter(self) -> Iterator["Element"]:
+        """Depth-first pre-order iteration over this subtree."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    # ------------------------------------------------------------------
+    # Size accounting (drives the traffic measurements)
+    # ------------------------------------------------------------------
+    def serialized_size(self) -> int:
+        """Number of bytes of the canonical serialization of this subtree.
+
+        Matches :func:`repro.xmlkit.serializer.serialize` with default
+        options (compact, UTF-8) without building the string.
+        """
+        tag_len = len(self.tag.encode("utf-8"))
+        if not self.children and self.text is None:
+            # "<t/>"
+            return tag_len + 3
+        size = 2 * tag_len + 5  # "<t>" + "</t>"
+        if self.text is not None:
+            size += len(_escape_text(self.text).encode("utf-8"))
+        for child in self.children:
+            size += child.serialized_size()
+        return size
+
+    # ------------------------------------------------------------------
+    # Equality and display
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Element):
+            return NotImplemented
+        return (
+            self.tag == other.tag
+            and self.text == other.text
+            and self.children == other.children
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.tag, self.text, tuple(self.children)))
+
+    def __repr__(self) -> str:
+        if self.text is not None:
+            return f"Element({self.tag!r}, text={self.text!r})"
+        if self.children:
+            return f"Element({self.tag!r}, children={len(self.children)})"
+        return f"Element({self.tag!r})"
+
+
+def _escape_text(text: str) -> str:
+    """Escape the three characters that must be escaped in text content."""
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def element(tag: str, *children: Element, text: Optional[Scalar] = None) -> Element:
+    """Convenience constructor: ``element("a", element("b"), ...)``."""
+    return Element(tag, text=text, children=children)

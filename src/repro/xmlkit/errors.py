@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro.xmlkit` substrate.
+
+The XML substrate deliberately keeps its own, narrow exception types so
+that callers (the WXQuery engine, the workload generator, the benchmark
+harness) can distinguish malformed input data from programming errors
+without depending on :mod:`xml.etree` internals.
+"""
+
+from __future__ import annotations
+
+
+class XmlError(Exception):
+    """Base class for all errors raised by :mod:`repro.xmlkit`."""
+
+
+class XmlParseError(XmlError):
+    """Raised when a document or fragment is not well-formed.
+
+    Attributes
+    ----------
+    position:
+        Zero-based character offset into the input at which the error was
+        detected.
+    line:
+        One-based line number of the error position.
+    column:
+        One-based column number of the error position.
+    """
+
+    def __init__(self, message: str, text: str, position: int) -> None:
+        self.position = position
+        prefix = text[:position]
+        self.line = prefix.count("\n") + 1
+        self.column = position - (prefix.rfind("\n") + 1) + 1
+        super().__init__(f"{message} (line {self.line}, column {self.column})")
+
+
+class XmlPathError(XmlError):
+    """Raised for syntactically invalid element paths.
+
+    Paths in this substrate are the restricted ``child``-axis-only paths
+    of the paper (Section 2): no wildcards, no ``//``, no predicates.
+    """
+
+
+class XmlSchemaError(XmlError):
+    """Raised when an element does not conform to a declared schema."""

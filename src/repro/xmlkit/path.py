@@ -1,0 +1,141 @@
+"""Restricted element paths.
+
+The paper (Section 2) only allows relative paths ``π`` that employ the
+child axis: no wildcards, no ``//``, no embedded predicates.  (Predicates
+inside a path step, written ``π̄`` in the paper, are handled one level up
+by the WXQuery parser, which splits them off into selection conditions.)
+
+:class:`Path` is an immutable, hashable tuple of steps.  Paths are used
+pervasively: as projection elements in properties, as node labels in
+predicate graphs, and as navigation programs in the stream engine, so
+they are kept tiny and cheap to compare.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple, Union
+
+from .element import Element
+from .errors import XmlPathError
+
+
+class Path:
+    """An immutable child-axis-only element path like ``coord/cel/ra``."""
+
+    __slots__ = ("steps",)
+
+    def __init__(self, steps: Union[str, Sequence[str]]) -> None:
+        if isinstance(steps, str):
+            steps = parse_path(steps).steps
+        steps_tuple: Tuple[str, ...] = tuple(steps)
+        for step in steps_tuple:
+            if not step or any(c in step for c in " \t\n\r<>&/'\"[]*"):
+                raise XmlPathError(f"invalid path step: {step!r}")
+        object.__setattr__(self, "steps", steps_tuple)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Path is immutable")
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def __truediv__(self, other: Union["Path", str]) -> "Path":
+        """Concatenate: ``Path("coord") / "cel" == Path("coord/cel")``."""
+        if isinstance(other, str):
+            other = Path(other)
+        return Path(self.steps + other.steps)
+
+    def starts_with(self, prefix: "Path") -> bool:
+        """``True`` when ``prefix`` is a (non-strict) prefix of this path."""
+        return self.steps[: len(prefix.steps)] == prefix.steps
+
+    def relative_to(self, prefix: "Path") -> "Path":
+        """Strip ``prefix``; raises :class:`XmlPathError` if not a prefix."""
+        if not self.starts_with(prefix):
+            raise XmlPathError(f"{self} does not start with {prefix}")
+        return Path(self.steps[len(prefix.steps) :])
+
+    @property
+    def leaf(self) -> str:
+        """The final step (the referenced element's tag)."""
+        if not self.steps:
+            raise XmlPathError("the empty path has no leaf")
+        return self.steps[-1]
+
+    @property
+    def parent(self) -> "Path":
+        """The path without its final step."""
+        if not self.steps:
+            raise XmlPathError("the empty path has no parent")
+        return Path(self.steps[:-1])
+
+    def is_empty(self) -> bool:
+        return not self.steps
+
+    # ------------------------------------------------------------------
+    # Evaluation against an element tree
+    # ------------------------------------------------------------------
+    def first(self, root: Element) -> Optional[Element]:
+        """The first element reached from ``root``, or ``None``."""
+        return root.find(self.steps)
+
+    def all(self, root: Element) -> Sequence[Element]:
+        """All elements reached from ``root`` along this path."""
+        return root.find_all(self.steps)
+
+    def number(self, root: Element) -> Optional[float]:
+        """Numeric value of the first reached element, or ``None``."""
+        return root.number(self.steps)
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Path):
+            return NotImplemented
+        return self.steps == other.steps
+
+    def __lt__(self, other: "Path") -> bool:
+        return self.steps < other.steps
+
+    def __hash__(self) -> int:
+        return hash(self.steps)
+
+    def __str__(self) -> str:
+        return "/".join(self.steps)
+
+    def __repr__(self) -> str:
+        return f"Path({str(self)!r})"
+
+
+EMPTY_PATH = Path(())
+
+
+def parse_path(text: str) -> Path:
+    """Parse ``"a/b/c"`` into a :class:`Path`.
+
+    Leading/trailing slashes, wildcards, descendant steps, and embedded
+    predicates are rejected — those are outside the paper's ``π``.
+    """
+    text = text.strip()
+    if not text:
+        return EMPTY_PATH
+    if text.startswith("/") or text.endswith("/"):
+        raise XmlPathError(f"path must be relative, without leading/trailing '/': {text!r}")
+    if "//" in text:
+        raise XmlPathError(f"descendant axis '//' is not allowed: {text!r}")
+    steps = text.split("/")
+    for step in steps:
+        if "*" in step:
+            raise XmlPathError(f"wildcards are not allowed: {text!r}")
+        if "[" in step or "]" in step:
+            raise XmlPathError(
+                f"embedded predicates are not allowed in a bare path: {text!r}"
+            )
+    return Path(steps)

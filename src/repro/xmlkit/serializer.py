@@ -1,0 +1,57 @@
+"""Canonical serialization for :class:`~repro.xmlkit.element.Element`.
+
+Two forms are provided:
+
+* :func:`serialize` — the compact canonical form used on the (simulated)
+  wire.  ``Element.serialized_size`` is defined against this form, so
+  ``len(serialize(e).encode()) == e.serialized_size()`` always holds;
+  this identity is enforced by a property-based test.
+* :func:`pretty` — an indented, human-readable form used by examples and
+  debugging output.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .element import Element, _escape_text
+
+
+def serialize(root: Element) -> str:
+    """Return the compact canonical serialization of ``root``."""
+    parts: List[str] = []
+    _write(root, parts)
+    return "".join(parts)
+
+
+def _write(node: Element, parts: List[str]) -> None:
+    if not node.children and node.text is None:
+        parts.append(f"<{node.tag}/>")
+        return
+    parts.append(f"<{node.tag}>")
+    if node.text is not None:
+        parts.append(_escape_text(node.text))
+    for child in node.children:
+        _write(child, parts)
+    parts.append(f"</{node.tag}>")
+
+
+def pretty(root: Element, indent: str = "  ") -> str:
+    """Return an indented serialization of ``root`` for display."""
+    parts: List[str] = []
+    _write_pretty(root, parts, indent, 0)
+    return "\n".join(parts)
+
+
+def _write_pretty(node: Element, parts: List[str], indent: str, depth: int) -> None:
+    pad = indent * depth
+    if not node.children and node.text is None:
+        parts.append(f"{pad}<{node.tag}/>")
+        return
+    if node.text is not None:
+        parts.append(f"{pad}<{node.tag}>{_escape_text(node.text)}</{node.tag}>")
+        return
+    parts.append(f"{pad}<{node.tag}>")
+    for child in node.children:
+        _write_pretty(child, parts, indent, depth + 1)
+    parts.append(f"{pad}</{node.tag}>")

@@ -1,0 +1,119 @@
+"""Shared fixtures: the paper's example queries, streams, and systems."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import pytest
+
+from repro.costmodel import StatisticsCatalog, StreamStatistics
+from repro.network.topology import example_topology
+from repro.properties import extract_properties
+from repro.workload.photons import PhotonGenerator, PhotonStreamConfig
+from repro.wxquery import parse_query
+from repro.xmlkit import Path
+
+#: The paper's four example subscriptions (Sections 1 and 2), verbatim
+#: modulo whitespace.
+Q1_TEXT = """<photons>
+{ for $p in stream("photons")/photons/photon
+  where $p/coord/cel/ra >= 120.0 and $p/coord/cel/ra <= 138.0
+  and $p/coord/cel/dec >= -49.0 and $p/coord/cel/dec <= -40.0
+  return <vela> { $p/coord/cel/ra } { $p/coord/cel/dec }
+  { $p/phc } { $p/en } { $p/det_time } </vela> }
+</photons>"""
+
+Q2_TEXT = """<photons>
+{ for $p in stream("photons")/photons/photon
+  where $p/en >= 1.3
+  and $p/coord/cel/ra >= 130.5 and $p/coord/cel/ra <= 135.5
+  and $p/coord/cel/dec >= -48.0 and $p/coord/cel/dec <= -45.0
+  return <rxj> { $p/coord/cel/ra } { $p/coord/cel/dec }
+  { $p/en } { $p/det_time } </rxj> }
+</photons>"""
+
+Q3_TEXT = """<photons>
+{ for $w in stream("photons")/photons/photon
+  [coord/cel/ra >= 120.0 and coord/cel/ra <= 138.0
+  and coord/cel/dec >= -49.0 and coord/cel/dec <= -40.0]
+  |det_time diff 20 step 10|
+  let $a := avg($w/en)
+  return <avg_en> { $a } </avg_en> }
+</photons>"""
+
+Q4_TEXT = """<photons>
+{ for $w in stream("photons")/photons/photon
+  [coord/cel/ra >= 120.0 and coord/cel/ra <= 138.0
+  and coord/cel/dec >= -49.0 and coord/cel/dec <= -40.0]
+  |det_time diff 60 step 40|
+  let $a := avg($w/en)
+  where $a >= 1.3
+  return <avg_en> { $a } </avg_en> }
+</photons>"""
+
+PAPER_QUERIES = {"Q1": Q1_TEXT, "Q2": Q2_TEXT, "Q3": Q3_TEXT, "Q4": Q4_TEXT}
+
+PHOTON_ITEM_PATH = Path("photons/photon")
+
+
+@pytest.fixture(scope="session")
+def photon_config():
+    return PhotonStreamConfig(seed=20060326, frequency=100.0)
+
+
+@pytest.fixture(scope="session")
+def photon_sample(photon_config):
+    """A fixed sample of 300 photons."""
+    return PhotonGenerator(photon_config).take(300)
+
+
+@pytest.fixture(scope="session")
+def photon_stats(photon_sample):
+    return StreamStatistics.from_sample(
+        "photons", PHOTON_ITEM_PATH, photon_sample, frequency=100.0
+    )
+
+
+@pytest.fixture(scope="session")
+def catalog(photon_stats):
+    cat = StatisticsCatalog()
+    cat.register(photon_stats)
+    return cat
+
+
+@pytest.fixture(scope="session")
+def paper_properties():
+    """Properties of the paper's four example queries."""
+    return {
+        name: extract_properties(parse_query(text), name)
+        for name, text in PAPER_QUERIES.items()
+    }
+
+
+@pytest.fixture()
+def example_net():
+    return example_topology()
+
+
+def make_system(strategy="stream-sharing", seed=20060326, frequency=100.0, **kwargs):
+    """Build a StreamGlobe over the example topology with one stream."""
+    from repro.sharing import StreamGlobe
+
+    config = PhotonStreamConfig(seed=seed, frequency=frequency)
+    system = StreamGlobe(example_topology(), strategy=strategy, **kwargs)
+    system.register_stream(
+        "photons",
+        "photons/photon",
+        lambda: PhotonGenerator(config),
+        frequency=frequency,
+        source_peer="P0",
+    )
+    return system
+
+
+@pytest.fixture()
+def sharing_system():
+    return make_system("stream-sharing")

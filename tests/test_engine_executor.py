@@ -1,0 +1,128 @@
+"""Integration tests for the measured stream simulator."""
+
+import pytest
+
+from tests.conftest import PAPER_QUERIES, make_system
+from repro.engine.executor import ExecutionError, StreamSimulator
+from repro.network.topology import example_topology
+from repro.properties import raw_stream_properties
+from repro.sharing.plan import Deployment, InstalledStream
+from repro.workload.photons import PhotonGenerator, PhotonStreamConfig
+
+
+class TestSimulatorBasics:
+    def test_duration_validated(self, example_net):
+        with pytest.raises(ExecutionError):
+            StreamSimulator(example_net, Deployment(example_net), {}, duration=0)
+
+    def test_missing_generator_detected(self, example_net):
+        deployment = Deployment(example_net)
+        deployment.install_stream(
+            InstalledStream(
+                stream_id="photons",
+                content=raw_stream_properties("photons", "photons/photon").single_input(),
+                origin_node="SP4",
+                route=("SP4",),
+            )
+        )
+        simulator = StreamSimulator(example_net, deployment, {}, duration=1.0)
+        with pytest.raises(ExecutionError):
+            simulator.run()
+
+    def test_source_only_run(self, example_net):
+        deployment = Deployment(example_net)
+        deployment.install_stream(
+            InstalledStream(
+                stream_id="photons",
+                content=raw_stream_properties("photons", "photons/photon").single_input(),
+                origin_node="SP4",
+                route=("SP4",),
+            )
+        )
+        generator = PhotonGenerator(PhotonStreamConfig(seed=1, frequency=50.0))
+        metrics = StreamSimulator(
+            example_net, deployment, {"photons": generator}, duration=2.0
+        ).run()
+        # ~100 items generated; ingest work at SP4 only; no link traffic.
+        assert metrics.items_generated["photons"] == pytest.approx(100, abs=20)
+        assert metrics.peer_work.get("SP4", 0) > 0
+        assert metrics.link_bits == {}
+
+    def test_max_items_cap(self, example_net):
+        deployment = Deployment(example_net)
+        deployment.install_stream(
+            InstalledStream(
+                stream_id="photons",
+                content=raw_stream_properties("photons", "photons/photon").single_input(),
+                origin_node="SP4",
+                route=("SP4",),
+            )
+        )
+        generator = PhotonGenerator(PhotonStreamConfig(seed=1, frequency=50.0))
+        metrics = StreamSimulator(
+            example_net, deployment, {"photons": generator}, duration=10.0,
+            max_items_per_source=7,
+        ).run()
+        assert metrics.items_generated["photons"] == 7
+
+
+class TestEndToEndExecution:
+    def test_q1_delivery_matches_direct_filtering(self):
+        """Items delivered through the network equal direct evaluation."""
+        system = make_system("stream-sharing")
+        system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+        metrics = system.run(duration=20.0)
+
+        from repro.workload.photons import VELA_REGION
+
+        generator = PhotonGenerator(PhotonStreamConfig(seed=20060326, frequency=100.0))
+        expected = 0
+        while generator.clock < 20.0:
+            item = generator.next_item()
+            ra = float(item.find(["coord", "cel", "ra"]).text)
+            dec = float(item.find(["coord", "cel", "dec"]).text)
+            if VELA_REGION.contains(ra, dec):
+                expected += 1
+        assert metrics.items_delivered["Q1"] == expected
+
+    def test_q2_subset_of_q1(self):
+        system = make_system("stream-sharing")
+        system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+        system.register_query("Q2", PAPER_QUERIES["Q2"], "P2")
+        metrics = system.run(duration=20.0)
+        assert 0 < metrics.items_delivered["Q2"] <= metrics.items_delivered["Q1"]
+
+    def test_sharing_strategies_deliver_identical_results(self):
+        """The optimizer must never change *what* is delivered."""
+        deliveries = {}
+        for strategy in ("data-shipping", "query-shipping", "stream-sharing"):
+            system = make_system(strategy)
+            for name, peer in [("Q1", "P1"), ("Q2", "P2"), ("Q3", "P3"), ("Q4", "P4")]:
+                system.register_query(name, PAPER_QUERIES[name], peer)
+            deliveries[strategy] = system.run(duration=30.0).items_delivered
+        assert deliveries["data-shipping"] == deliveries["query-shipping"]
+        assert deliveries["data-shipping"] == deliveries["stream-sharing"]
+
+    def test_repeated_runs_identical(self):
+        system = make_system("stream-sharing")
+        system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+        first = system.run(duration=10.0)
+        second = system.run(duration=10.0)
+        assert first.items_delivered == second.items_delivered
+        assert first.link_bits == second.link_bits
+        assert first.peer_work == second.peer_work
+
+    def test_metrics_derivations(self):
+        system = make_system("data-shipping")
+        system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+        metrics = system.run(duration=10.0)
+        net = system.net
+        total_kbps = sum(metrics.link_kbps(link) for link in net.links())
+        assert total_kbps > 0
+        assert metrics.total_mbit() == pytest.approx(
+            total_kbps * 10.0 / 1000.0, rel=1e-6
+        )
+        cpu = dict(metrics.cpu_series(net))
+        assert cpu["SP4"] > 0  # ingest at the source super-peer
+        acc = metrics.peer_accumulated_mbit(net, "SP4")
+        assert acc > 0

@@ -1,0 +1,74 @@
+"""Unit tests for the run-metrics collectors."""
+
+import pytest
+
+from repro.engine.metrics import RunMetrics
+from repro.network.topology import example_topology
+
+
+@pytest.fixture()
+def net():
+    return example_topology()
+
+
+@pytest.fixture()
+def metrics(net):
+    m = RunMetrics(duration=10.0)
+    link = net.link("SP4", "SP5")
+    m.add_link_bits(link, 1_000_000.0)
+    m.add_link_bits(link, 500_000.0)
+    m.add_peer_work("SP4", 2_000_000.0)
+    m.count_delivery("Q1", 42)
+    m.count_generated("photons", 1000)
+    return m
+
+
+class TestAccumulation:
+    def test_link_bits_accumulate(self, metrics, net):
+        assert metrics.link_bits[("SP4", "SP5")] == 1_500_000.0
+
+    def test_peer_work_accumulates(self, metrics):
+        metrics.add_peer_work("SP4", 1.0)
+        assert metrics.peer_work["SP4"] == 2_000_001.0
+
+    def test_delivery_counts(self, metrics):
+        metrics.count_delivery("Q1", 8)
+        assert metrics.items_delivered["Q1"] == 50
+
+    def test_generation_counts(self, metrics):
+        assert metrics.items_generated["photons"] == 1000
+
+
+class TestDerivedFigures:
+    def test_link_kbps(self, metrics, net):
+        link = net.link("SP4", "SP5")
+        # 1.5 Mbit over 10 s = 150 kbit/s.
+        assert metrics.link_kbps(link) == pytest.approx(150.0)
+
+    def test_unused_link_is_zero(self, metrics, net):
+        assert metrics.link_kbps(net.link("SP0", "SP2")) == 0.0
+
+    def test_peer_cpu_percent(self, metrics, net):
+        # 2 M units over 10 s on a 1 M units/s peer = 20 %.
+        assert metrics.peer_cpu_percent(net, "SP4") == pytest.approx(20.0)
+
+    def test_idle_peer_is_zero(self, metrics, net):
+        assert metrics.peer_cpu_percent(net, "SP0") == 0.0
+
+    def test_accumulated_mbit_counts_both_endpoints(self, metrics, net):
+        assert metrics.peer_accumulated_mbit(net, "SP4") == pytest.approx(1.5)
+        assert metrics.peer_accumulated_mbit(net, "SP5") == pytest.approx(1.5)
+        assert metrics.peer_accumulated_mbit(net, "SP0") == 0.0
+
+    def test_total_mbit(self, metrics):
+        assert metrics.total_mbit() == pytest.approx(1.5)
+
+    def test_series_cover_whole_network(self, metrics, net):
+        assert len(metrics.cpu_series(net)) == len(net)
+        assert len(metrics.traffic_series(net)) == len(net.links())
+
+    def test_series_values_match_point_queries(self, metrics, net):
+        cpu = dict(metrics.cpu_series(net))
+        assert cpu["SP4"] == metrics.peer_cpu_percent(net, "SP4")
+        traffic = dict(metrics.traffic_series(net))
+        assert traffic["SP4-SP5"] == metrics.link_kbps(net.link("SP4", "SP5"))

@@ -1,0 +1,168 @@
+"""Tests for user-defined operators: registry, execution, sharing."""
+
+import pytest
+
+from tests.conftest import make_system
+from repro.engine import (
+    DEFAULT_UDF_REGISTRY,
+    Pipeline,
+    UdfOperator,
+    UdfRegistry,
+    clear_default_registry,
+)
+from repro.engine.operators import EngineError, build_operator
+from repro.properties import UdfSpec
+from repro.xmlkit import Element, Path, element
+
+ITEM = Path("photons/photon")
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    clear_default_registry()
+    yield
+    clear_default_registry()
+
+
+def scale_energy(item, factor):
+    clone = item.copy()
+    node = clone.find(["en"])
+    if node is None:
+        return []
+    node.text = repr(float(node.text) * float(factor))
+    return [clone]
+
+
+def photon(en=1.0):
+    return element("photon", element("en", text=en))
+
+
+class TestRegistry:
+    def test_register_and_resolve(self):
+        registry = UdfRegistry()
+        registry.register("scale", scale_energy)
+        assert "scale" in registry
+        assert registry.resolve("scale") is scale_energy
+        assert registry.names() == ["scale"]
+
+    def test_duplicate_rejected(self):
+        registry = UdfRegistry()
+        registry.register("scale", scale_energy)
+        with pytest.raises(EngineError):
+            registry.register("scale", scale_energy)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(EngineError):
+            UdfRegistry().resolve("nope")
+
+
+class TestUdfOperator:
+    def test_executes_with_parameters(self):
+        DEFAULT_UDF_REGISTRY.register("scale", scale_energy)
+        op = build_operator(UdfSpec("scale", ("2.0",)), ITEM)
+        assert isinstance(op, UdfOperator)
+        (out,) = op.process(photon(en=1.5))
+        assert float(out.find(["en"]).text) == 3.0
+
+    def test_non_list_return_rejected(self):
+        DEFAULT_UDF_REGISTRY.register("bad", lambda item: item)
+        op = UdfOperator(UdfSpec("bad"))
+        with pytest.raises(EngineError):
+            op.process(photon())
+
+    def test_in_pipeline(self):
+        DEFAULT_UDF_REGISTRY.register("scale", scale_energy)
+        pipeline = Pipeline.from_specs([UdfSpec("scale", ("10",))], ITEM)
+        (out,) = pipeline.process(photon(en=0.5))
+        assert float(out.find(["en"]).text) == 5.0
+
+
+class TestUdfStreamSharing:
+    def test_install_and_find_shareable(self):
+        DEFAULT_UDF_REGISTRY.register("scale", scale_energy)
+        system = make_system("stream-sharing")
+        spec = UdfSpec("scale", ("2.0",))
+        installed = system.install_derived_stream(
+            "photons-x2", "photons", [spec], target="P1"
+        )
+        assert installed.content.operators[-1] == spec
+
+        # The identical UDF request is shareable; different parameters
+        # are not (Algorithm 2, unknown operators).
+        from repro.properties import StreamProperties
+
+        same = StreamProperties("photons", ITEM, (spec,))
+        other = StreamProperties("photons", ITEM, (UdfSpec("scale", ("3.0",)),))
+        shareable = system.find_shareable_streams(same)
+        assert any(s.stream_id == "photons-x2" for s in shareable)
+        shareable_other = system.find_shareable_streams(other)
+        assert all(s.stream_id != "photons-x2" for s in shareable_other)
+
+    def test_udf_stream_never_serves_wxquery(self):
+        """A WXQuery subscription has no UDF operator, so Algorithm 2
+        refuses the UDF stream and the optimizer uses the original."""
+        DEFAULT_UDF_REGISTRY.register("scale", scale_energy)
+        system = make_system("stream-sharing")
+        system.install_derived_stream("photons-x2", "photons", [UdfSpec("scale", ("2.0",))], target="P1")
+        result = system.register_query(
+            "q",
+            '<photons>{ for $p in stream("photons")/photons/photon '
+            "where $p/en >= 1.0 return <r> { $p/en } </r> }</photons>",
+            "P1",
+        )
+        assert result.plan.inputs[0].reused_id == "photons"
+
+    def test_udf_stream_executes_in_simulation(self):
+        DEFAULT_UDF_REGISTRY.register("scale", scale_energy)
+        system = make_system("stream-sharing")
+        system.install_derived_stream(
+            "photons-x2", "photons", [UdfSpec("scale", ("2.0",))], target="P1"
+        )
+        metrics = system.run(duration=5.0)
+        # UDF work is charged at the source super-peer.
+        assert metrics.peer_work["SP4"] > 0
+
+    def test_bad_tap_node_rejected(self):
+        system = make_system("stream-sharing")
+        with pytest.raises(ValueError):
+            system.install_derived_stream(
+                "x", "photons", [UdfSpec("f")], target="P1", tap_node="SP0"
+            )
+
+
+class TestFuzzyOrderAggregation:
+    def test_reorder_buffer_fixes_fuzzy_input(self):
+        """Section 2's relaxation: a fixed-size buffer suffices to derive
+        the total order before windowing."""
+        from fractions import Fraction
+
+        from repro.engine import WindowAggregateOperator, wire_to_partial
+        from repro.predicates import PredicateGraph
+        from repro.properties import AggregationSpec, WindowSpec
+
+        spec = AggregationSpec(
+            "sum",
+            ITEM / "v",
+            WindowSpec("diff", Fraction(2), Fraction(2), ITEM / "t"),
+            PredicateGraph(),
+            PredicateGraph(),
+        )
+
+        def item(t, v):
+            return element("photon", element("t", text=float(t)), element("v", text=float(v)))
+
+        # Slightly shuffled positions (swap distance 1).
+        fuzzy = [item(t, 1.0) for t in (1, 0, 3, 2, 5, 4, 7, 6, 9, 8)]
+
+        strict_op = WindowAggregateOperator(spec, ITEM)
+        with pytest.raises(EngineError):
+            for it in fuzzy:
+                strict_op.process(it)
+
+        buffered_op = WindowAggregateOperator(spec, ITEM, reorder_capacity=2)
+        out = []
+        for it in fuzzy:
+            out.extend(buffered_op.process(it))
+        out.extend(buffered_op.flush())
+        sums = [wire_to_partial(w, "sum").total for w in out]
+        assert sums == [2.0, 2.0, 2.0, 2.0, 2.0]

@@ -1,0 +1,145 @@
+"""Unit tests for the sliding windower, reorder buffer, and window
+contents operator."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.engine import ReorderBuffer, SlidingWindower, WindowContentsOperator
+from repro.engine.operators import EngineError
+from repro.properties import WindowContentsSpec, WindowSpec
+from repro.xmlkit import Element, Path, element
+
+ITEM = Path("s/item")
+
+
+class TestSlidingWindower:
+    def test_tumbling_windows(self):
+        windower = SlidingWindower(size=2.0, step=2.0)
+        emitted = []
+        for position in range(7):
+            emitted.extend(windower.add(float(position), position))
+        assert [w.contents for w in emitted] == [(0, 1), (2, 3), (4, 5)]
+
+    def test_sliding_windows_figure_5(self):
+        """Q3's window |diff 20 step 10| over positions 0..59."""
+        windower = SlidingWindower(size=20.0, step=10.0)
+        emitted = []
+        for position in range(0, 60):
+            emitted.extend(windower.add(float(position), position))
+        assert [(w.start, w.end) for w in emitted] == [
+            (0.0, 20.0), (10.0, 30.0), (20.0, 40.0), (30.0, 50.0),
+        ]
+        assert emitted[1].contents == tuple(range(10, 30))
+
+    def test_window_indices_sequential(self):
+        windower = SlidingWindower(size=1.0, step=1.0)
+        emitted = []
+        for position in range(5):
+            emitted.extend(windower.add(float(position), position))
+        assert [w.index for w in emitted] == [0, 1, 2, 3]
+
+    def test_empty_windows_emitted(self):
+        windower = SlidingWindower(size=1.0, step=1.0)
+        emitted = windower.add(0.0, "a")
+        assert emitted == []
+        emitted = windower.add(5.0, "b")  # jumps over [1,2),[2,3),[3,4),[4,5)
+        assert [len(w) for w in emitted] == [1, 0, 0, 0, 0]
+
+    def test_out_of_order_rejected(self):
+        windower = SlidingWindower(size=2.0, step=1.0)
+        windower.add(5.0, "a")
+        with pytest.raises(EngineError):
+            windower.add(4.0, "b")
+
+    def test_flush_emits_partial_windows(self):
+        windower = SlidingWindower(size=4.0, step=2.0)
+        for position in range(3):
+            windower.add(float(position), position)
+        flushed = windower.flush()
+        assert flushed[0].contents == (0, 1, 2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(EngineError):
+            SlidingWindower(size=0, step=1)
+        with pytest.raises(EngineError):
+            SlidingWindower(size=1, step=0)
+
+    def test_overlapping_windows_share_items(self):
+        windower = SlidingWindower(size=4.0, step=2.0)
+        emitted = []
+        for position in range(9):
+            emitted.extend(windower.add(float(position), position))
+        assert emitted[0].contents == (0, 1, 2, 3)
+        assert emitted[1].contents == (2, 3, 4, 5)
+
+
+class TestReorderBuffer:
+    def test_orders_within_capacity(self):
+        buffer = ReorderBuffer(capacity=3)
+        released = []
+        for position in (3.0, 1.0, 2.0, 4.0):
+            released.extend(buffer.add(position, position))
+        released.extend(buffer.flush())
+        assert [p for p, _ in released] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_overflow_releases_smallest(self):
+        buffer = ReorderBuffer(capacity=2)
+        assert buffer.add(5.0, "a") == []
+        assert buffer.add(3.0, "b") == []
+        released = buffer.add(4.0, "c")
+        assert released == [(3.0, "b")]
+        assert len(buffer) == 2
+
+    def test_stable_for_equal_positions(self):
+        buffer = ReorderBuffer(capacity=1)
+        buffer.add(1.0, "first")
+        released = buffer.add(1.0, "second")
+        assert released == [(1.0, "first")]
+
+    def test_capacity_validated(self):
+        with pytest.raises(EngineError):
+            ReorderBuffer(capacity=0)
+
+
+class TestWindowContentsOperator:
+    def _items(self, count):
+        return [
+            element("item", Element("t", text=float(i)), Element("v", text=i))
+            for i in range(count)
+        ]
+
+    def test_count_window(self):
+        spec = WindowContentsSpec(WindowSpec("count", Fraction(2), Fraction(2)))
+        op = WindowContentsOperator(spec, ITEM)
+        out = []
+        for item in self._items(5):
+            out.extend(op.process(item))
+        assert len(out) == 2
+        assert out[0].tag == "window"
+        assert [c.find(["v"]).text for c in out[0].children] == ["0", "1"]
+
+    def test_time_window(self):
+        spec = WindowContentsSpec(
+            WindowSpec("diff", Fraction(2), Fraction(2), ITEM / "t")
+        )
+        op = WindowContentsOperator(spec, ITEM)
+        out = []
+        for item in self._items(5):
+            out.extend(op.process(item))
+        assert len(out) == 2  # [0,2) and [2,4) complete
+
+    def test_item_without_reference_skipped(self):
+        spec = WindowContentsSpec(
+            WindowSpec("diff", Fraction(2), Fraction(2), ITEM / "t")
+        )
+        op = WindowContentsOperator(spec, ITEM)
+        assert op.process(element("item", Element("v", text=1))) == []
+
+    def test_flush(self):
+        spec = WindowContentsSpec(WindowSpec("count", Fraction(10), Fraction(10)))
+        op = WindowContentsOperator(spec, ITEM)
+        for item in self._items(3):
+            op.process(item)
+        (window,) = op.flush()
+        assert len(window.children) == 3

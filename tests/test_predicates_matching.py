@@ -1,0 +1,111 @@
+"""Unit tests for MatchPredicates (Algorithm 3, Figure 4)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.predicates import PredicateGraph, match_predicates, normalize_comparison
+from repro.xmlkit import Path
+
+RA = Path("photons/photon/coord/cel/ra")
+DEC = Path("photons/photon/coord/cel/dec")
+EN = Path("photons/photon/en")
+A = Path("s/i/a")
+B = Path("s/i/b")
+
+
+def graph(*specs):
+    atoms = []
+    for left, op, right, const in specs:
+        atoms.extend(normalize_comparison(left, op, right, Fraction(str(const))))
+    return PredicateGraph(atoms)
+
+
+#: Query 1's selection (the stream considered for reuse).
+G_Q1 = graph(
+    (RA, ">=", None, "120.0"),
+    (RA, "<=", None, "138.0"),
+    (DEC, ">=", None, "-49.0"),
+    (DEC, "<=", None, "-40.0"),
+)
+
+#: Query 2's selection (the new subscription).
+G_Q2 = graph(
+    (EN, ">=", None, "1.3"),
+    (RA, ">=", None, "130.5"),
+    (RA, "<=", None, "135.5"),
+    (DEC, ">=", None, "-48.0"),
+    (DEC, "<=", None, "-45.0"),
+)
+
+
+class TestPaperFigure4:
+    """The matching example of Figure 4: G(Q1) matched by G'(Q2)."""
+
+    @pytest.mark.parametrize("mode", ["edgewise", "closure"])
+    def test_q2_implies_q1(self, mode):
+        assert match_predicates(G_Q1, G_Q2, mode)
+
+    @pytest.mark.parametrize("mode", ["edgewise", "closure"])
+    def test_q1_does_not_imply_q2(self, mode):
+        assert not match_predicates(G_Q2, G_Q1, mode)
+
+
+class TestEdgewise:
+    def test_empty_stream_graph_always_matches(self):
+        assert match_predicates(PredicateGraph(), G_Q2)
+
+    def test_empty_subscription_never_matches_nonempty(self):
+        assert not match_predicates(G_Q1, PredicateGraph())
+
+    def test_identical_graphs_match(self):
+        assert match_predicates(G_Q1, G_Q1)
+
+    def test_missing_node_fails(self):
+        needs_en = graph((EN, ">=", None, 1))
+        lacks_en = graph((RA, ">=", None, 120))
+        assert not match_predicates(needs_en, lacks_en)
+
+    def test_looser_subscription_bound_fails(self):
+        stream = graph((RA, "<=", None, 130))
+        subscription = graph((RA, "<=", None, 135))
+        assert not match_predicates(stream, subscription)
+
+    def test_equal_bound_matches(self):
+        stream = graph((RA, "<=", None, 130))
+        assert match_predicates(stream, graph((RA, "<=", None, 130)))
+
+    def test_strictness_direction(self):
+        non_strict = graph((RA, "<=", None, 130))
+        strict = graph((RA, "<", None, 130))
+        assert match_predicates(non_strict, strict)   # ra < 130 ⇒ ra <= 130
+        assert not match_predicates(strict, non_strict)
+
+    def test_wrong_orientation_fails(self):
+        stream = graph((A, "<=", B, 0))
+        subscription = graph((B, "<=", A, 0))
+        assert not match_predicates(stream, subscription)
+
+    def test_variable_edge_matches(self):
+        stream = graph((A, "<=", B, 5))
+        subscription = graph((A, "<=", B, 2))
+        assert match_predicates(stream, subscription)
+        assert not match_predicates(subscription, stream)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            match_predicates(G_Q1, G_Q2, mode="telepathy")
+
+
+class TestClosureCompleteness:
+    def test_derived_implication_found_only_by_closure(self):
+        # G: a <= 7.  G': a <= b and b <= 5, which *derives* a <= 5.
+        stream = graph((A, "<=", None, 7))
+        subscription = graph((A, "<=", B, 0), (B, "<=", None, 5))
+        assert not match_predicates(stream, subscription, "edgewise")
+        assert match_predicates(stream, subscription, "closure")
+
+    def test_closure_still_sound(self):
+        stream = graph((A, "<=", None, 4))
+        subscription = graph((A, "<=", B, 0), (B, "<=", None, 5))
+        assert not match_predicates(stream, subscription, "closure")

@@ -1,0 +1,135 @@
+"""Property-based tests on cost-model estimation invariants."""
+
+from fractions import Fraction
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.costmodel import estimate_stream_rate
+from repro.predicates import PredicateGraph, normalize_comparison
+from repro.properties import (
+    AggregationSpec,
+    ProjectionSpec,
+    SelectionSpec,
+    StreamProperties,
+    WindowSpec,
+)
+from repro.xmlkit import Path
+
+ITEM = Path("photons/photon")
+LEAVES = [
+    ITEM / "phc",
+    ITEM / "coord/cel/ra",
+    ITEM / "coord/cel/dec",
+    ITEM / "coord/det/dx",
+    ITEM / "coord/det/dy",
+    ITEM / "en",
+    ITEM / "det_time",
+]
+
+ra_bounds = st.tuples(
+    st.floats(min_value=90, max_value=170, allow_nan=False),
+    st.floats(min_value=90, max_value=170, allow_nan=False),
+).map(lambda pair: (min(pair), max(pair)))
+
+leaf_subsets = st.lists(st.sampled_from(LEAVES), min_size=1, max_size=7, unique=True)
+
+
+def selection_of(low, high):
+    atoms = []
+    atoms.extend(
+        normalize_comparison(ITEM / "coord/cel/ra", ">=", None, Fraction(str(low)))
+    )
+    atoms.extend(
+        normalize_comparison(ITEM / "coord/cel/ra", "<=", None, Fraction(str(high)))
+    )
+    return SelectionSpec(PredicateGraph(atoms))
+
+
+def _props(operators):
+    return StreamProperties("photons", ITEM, tuple(operators))
+
+
+@given(ra_bounds)
+@settings(max_examples=80, deadline=None)
+def test_selectivity_in_unit_interval(catalog, bounds):
+    low, high = bounds
+    stats = catalog.for_stream("photons")
+    spec = selection_of(low, high)
+    selectivity = stats.selectivity(spec.graph)
+    assert 0.0 < selectivity <= 1.0
+
+
+@given(ra_bounds)
+@settings(max_examples=80, deadline=None)
+def test_selection_never_raises_frequency(catalog, bounds):
+    low, high = bounds
+    assume(high > low)
+    raw = estimate_stream_rate(_props([]), catalog)
+    selected = estimate_stream_rate(_props([selection_of(low, high)]), catalog)
+    assert selected.frequency <= raw.frequency + 1e-9
+    assert selected.size == raw.size
+
+
+@given(ra_bounds, ra_bounds)
+@settings(max_examples=80, deadline=None)
+def test_tighter_selection_is_rarer(catalog, outer, inner):
+    (outer_low, outer_high) = outer
+    inner_low = max(inner[0], outer_low)
+    inner_high = min(inner[1], outer_high)
+    assume(inner_high > inner_low)
+    wide = estimate_stream_rate(_props([selection_of(outer_low, outer_high)]), catalog)
+    narrow = estimate_stream_rate(_props([selection_of(inner_low, inner_high)]), catalog)
+    assert narrow.frequency <= wide.frequency + 1e-9
+
+
+@given(leaf_subsets)
+@settings(max_examples=80, deadline=None)
+def test_projection_never_grows_items(catalog, leaves):
+    spec = ProjectionSpec(frozenset(leaves), frozenset(leaves))
+    raw = estimate_stream_rate(_props([]), catalog)
+    projected = estimate_stream_rate(_props([spec]), catalog)
+    assert projected.size <= raw.size + 1e-9
+    assert projected.frequency == raw.frequency
+
+
+@given(leaf_subsets, leaf_subsets)
+@settings(max_examples=60, deadline=None)
+def test_projection_monotone_in_outputs(catalog, first, second):
+    smaller = frozenset(first) & frozenset(second)
+    larger = frozenset(first) | frozenset(second)
+    assume(smaller)
+    small_rate = estimate_stream_rate(
+        _props([ProjectionSpec(smaller, larger)]), catalog
+    )
+    large_rate = estimate_stream_rate(
+        _props([ProjectionSpec(larger, larger)]), catalog
+    )
+    assert small_rate.size <= large_rate.size + 1e-9
+
+
+@given(
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=1, max_value=4),
+    st.sampled_from(["min", "max", "sum", "count", "avg"]),
+)
+@settings(max_examples=80, deadline=None)
+def test_aggregate_frequency_scales_with_step(catalog, step, multiplier, function):
+    def agg(step_value):
+        return AggregationSpec(
+            function,
+            ITEM / "en",
+            WindowSpec(
+                "diff",
+                Fraction(step_value) * 4,
+                Fraction(step_value),
+                ITEM / "det_time",
+            ),
+            PredicateGraph(),
+            PredicateGraph(),
+        )
+
+    fine = estimate_stream_rate(_props([agg(step)]), catalog)
+    coarse = estimate_stream_rate(_props([agg(step * multiplier)]), catalog)
+    assert coarse.frequency <= fine.frequency + 1e-9
+    # Aggregate item size is input-independent.
+    assert coarse.size == fine.size

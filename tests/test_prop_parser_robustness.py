@@ -1,0 +1,106 @@
+"""Robustness properties of the WXQuery front end (hypothesis).
+
+A parser facing arbitrary input must either succeed or raise its own
+diagnostic error types — never an unrelated exception, never a hang.
+A parser facing *mutations* of valid queries must behave likewise.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import PAPER_QUERIES
+from repro.wxquery import (
+    AnalysisError,
+    LexError,
+    ParseError,
+    analyze,
+    parse_query,
+    tokenize,
+    unparse,
+)
+
+FRONT_END_ERRORS = (LexError, ParseError)
+
+arbitrary_text = st.text(
+    alphabet=string.printable, min_size=0, max_size=200
+)
+
+query_fragments = st.sampled_from(
+    [
+        "for", "$p", "in", 'stream("photons")', "/photons/photon",
+        "where", "$p/en", ">=", "1.3", "and", "return", "<r>", "</r>",
+        "{", "}", "(", ")", "[", "]", "|count 10|", "|det_time diff 5|",
+        "let", "$a", ":=", "avg($w/en)", "<vela/>", "if", "then", "else",
+        ",", "-49.0", "$p/coord/cel/ra",
+    ]
+)
+
+fragment_soup = st.lists(query_fragments, min_size=1, max_size=25).map(" ".join)
+
+
+class TestLexerRobustness:
+    @given(arbitrary_text)
+    @settings(max_examples=300, deadline=None)
+    def test_tokenize_total(self, text):
+        try:
+            tokens = tokenize(text)
+        except LexError:
+            return
+        assert tokens[-1].kind == "EOF"
+
+    @given(fragment_soup)
+    @settings(max_examples=300, deadline=None)
+    def test_fragment_soup_tokenizes(self, text):
+        tokens = tokenize(text)
+        assert tokens[-1].kind == "EOF"
+
+
+class TestParserRobustness:
+    @given(arbitrary_text)
+    @settings(max_examples=300, deadline=None)
+    def test_parse_raises_only_front_end_errors(self, text):
+        try:
+            parse_query(text)
+        except FRONT_END_ERRORS:
+            pass
+
+    @given(fragment_soup)
+    @settings(max_examples=300, deadline=None)
+    def test_fragment_soup_parses_or_diagnoses(self, text):
+        try:
+            query = parse_query(text)
+        except FRONT_END_ERRORS:
+            return
+        # Whatever parsed must unparse and re-parse to the same AST.
+        assert parse_query(unparse(query)).body == query.body
+
+
+class TestMutationRobustness:
+    @given(
+        st.sampled_from(sorted(PAPER_QUERIES)),
+        st.integers(min_value=0, max_value=400),
+        st.sampled_from(list(" ()[]{}<>/$|=.")),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_single_character_mutations(self, name, position, replacement):
+        text = PAPER_QUERIES[name]
+        position %= len(text)
+        mutated = text[:position] + replacement + text[position + 1:]
+        try:
+            query = parse_query(mutated)
+            analyze(query)
+        except FRONT_END_ERRORS:
+            pass
+        except AnalysisError:
+            pass
+
+    @given(st.sampled_from(sorted(PAPER_QUERIES)), st.integers(0, 400))
+    @settings(max_examples=200, deadline=None)
+    def test_truncations(self, name, cut):
+        text = PAPER_QUERIES[name]
+        cut %= len(text)
+        try:
+            parse_query(text[:cut])
+        except FRONT_END_ERRORS:
+            pass

@@ -1,0 +1,164 @@
+"""Property-based tests for predicate graphs (hypothesis).
+
+The central invariants:
+
+* minimization preserves the derived closure (no information change);
+* a matched predicate pair is *semantically* sound — every assignment
+  satisfying the subscription graph satisfies the stream graph;
+* satisfiability agrees with a brute-force witness check on small
+  integer domains.
+"""
+
+from fractions import Fraction
+from itertools import product
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.predicates import (
+    ZERO,
+    PredicateGraph,
+    match_predicates,
+    normalize_comparison,
+)
+from repro.xmlkit import Path
+
+VARIABLES = [Path("s/i/a"), Path("s/i/b"), Path("s/i/c")]
+
+constants = st.integers(min_value=-5, max_value=5).map(Fraction)
+operators = st.sampled_from(["<=", "<", ">=", ">", "="])
+#: Non-strict subset: systems of difference constraints with integer
+#: weights always admit *integer* solutions, so a small integer domain
+#: is a complete brute-force oracle for these (strict constraints like
+#: ``a < b < a + 1`` are satisfiable only over the rationals).
+non_strict_operators = st.sampled_from(["<=", ">=", "="])
+
+
+@st.composite
+def bound_atoms(draw, ops=operators):
+    variable = draw(st.sampled_from(VARIABLES))
+    op = draw(ops)
+    constant = draw(constants)
+    return normalize_comparison(variable, op, None, constant)
+
+
+@st.composite
+def variable_atoms(draw, ops=operators):
+    left, right = draw(
+        st.sampled_from(
+            [(a, b) for a in VARIABLES for b in VARIABLES if a != b]
+        )
+    )
+    return normalize_comparison(left, draw(ops), right, draw(constants))
+
+
+@st.composite
+def graphs(draw, max_atoms=4, ops=operators):
+    atom_lists = draw(
+        st.lists(st.one_of(bound_atoms(ops), variable_atoms(ops)), max_size=max_atoms)
+    )
+    return PredicateGraph([atom for atoms in atom_lists for atom in atoms])
+
+
+def satisfied_by(graph, assignment):
+    """Brute-force check of a variable assignment (ints)."""
+    values = dict(assignment)
+    values[ZERO] = 0
+    for (source, target), bound in graph.edges.items():
+        left, right = values[source], values[target]
+        limit = right + bound.value
+        if bound.strict:
+            if not left < limit:
+                return False
+        elif not left <= limit:
+            return False
+    return True
+
+
+def brute_force_satisfiable(graph, domain=range(-12, 13)):
+    names = [n for n in graph.nodes if n != ZERO]
+    for combo in product(domain, repeat=len(names)):
+        if satisfied_by(graph, zip(names, combo)):
+            return True
+    return False
+
+
+class TestSatisfiability:
+    @given(graphs(max_atoms=3, ops=non_strict_operators))
+    @settings(max_examples=150, deadline=None)
+    def test_agrees_with_brute_force(self, graph):
+        assume(len(graph.nodes) <= 4)
+        # Integer witnesses in [-12, 12] exist whenever constants are
+        # in [-5, 5], at most three atoms chain (|value| <= 10), and all
+        # constraints are non-strict.
+        assert graph.is_satisfiable() == brute_force_satisfiable(graph)
+
+    @given(graphs(max_atoms=3))
+    @settings(max_examples=100, deadline=None)
+    def test_brute_force_witness_implies_satisfiable(self, graph):
+        """Soundness half only, for strict constraints: an integer
+        witness always certifies satisfiability."""
+        assume(len(graph.nodes) <= 4)
+        if brute_force_satisfiable(graph):
+            assert graph.is_satisfiable()
+
+
+class TestMinimization:
+    @given(graphs())
+    @settings(max_examples=100, deadline=None)
+    def test_closure_preserved(self, graph):
+        assume(graph.is_satisfiable())
+        original = graph.closure()
+        minimized = graph.minimized().closure()
+        assert set(original) == set(minimized)
+        for key in original:
+            assert original[key] == minimized[key]
+
+    @given(graphs())
+    @settings(max_examples=100, deadline=None)
+    def test_never_grows(self, graph):
+        assume(graph.is_satisfiable())
+        assert len(graph.minimized()) <= len(graph)
+
+    @given(graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_idempotent(self, graph):
+        assume(graph.is_satisfiable())
+        once = graph.minimized()
+        assert once.minimized() == once
+
+
+class TestMatchingSoundness:
+    @given(graphs(max_atoms=3), graphs(max_atoms=3))
+    @settings(max_examples=150, deadline=None)
+    def test_match_implies_containment(self, stream, subscription):
+        """If MatchPredicates accepts, every assignment satisfying the
+        subscription also satisfies the stream (no false sharing)."""
+        assume(stream.is_satisfiable() and subscription.is_satisfiable())
+        assume(len(stream.nodes) <= 4 and len(subscription.nodes) <= 4)
+        for mode in ("edgewise", "closure"):
+            if not match_predicates(stream, subscription, mode):
+                continue
+            names = [n for n in subscription.nodes if n != ZERO]
+            extra = [n for n in stream.nodes if n != ZERO and n not in names]
+            all_names = names + extra
+            for combo in product(range(-8, 9, 2), repeat=len(all_names)):
+                assignment = dict(zip(all_names, combo))
+                if satisfied_by(subscription, assignment.items()):
+                    assert satisfied_by(stream, assignment.items()), (
+                        mode, stream.describe(), subscription.describe(), assignment,
+                    )
+
+    @given(graphs(max_atoms=3))
+    @settings(max_examples=50, deadline=None)
+    def test_reflexive(self, graph):
+        assume(graph.is_satisfiable())
+        assert match_predicates(graph, graph, "edgewise")
+        assert match_predicates(graph, graph, "closure")
+
+    @given(graphs(max_atoms=3), graphs(max_atoms=3))
+    @settings(max_examples=100, deadline=None)
+    def test_edgewise_implies_closure(self, stream, subscription):
+        """The closure mode is strictly more permissive (complete)."""
+        assume(stream.is_satisfiable() and subscription.is_satisfiable())
+        if match_predicates(stream, subscription, "edgewise"):
+            assert match_predicates(stream, subscription, "closure")

@@ -1,0 +1,138 @@
+"""Property-based tests for windows and aggregate sharing (hypothesis).
+
+Key invariant (Figure 5): re-aggregating a stream of fine-window partial
+aggregates into compatible coarser windows yields *exactly* the values a
+fresh aggregation with the coarse window would have produced.
+"""
+
+from fractions import Fraction
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.engine import (
+    ReAggregateOperator,
+    SlidingWindower,
+    WindowAggregateOperator,
+    wire_to_partial,
+)
+from repro.predicates import PredicateGraph
+from repro.properties import AggregationSpec, ReAggregationSpec, WindowSpec
+from repro.xmlkit import Element, Path, element
+
+ITEM = Path("s/item")
+VALUE = ITEM / "v"
+TIME = ITEM / "t"
+
+
+def agg_spec(function, size, step):
+    return AggregationSpec(
+        function=function,
+        aggregated_path=VALUE,
+        window=WindowSpec("diff", Fraction(size), Fraction(step), TIME),
+        pre_selection=PredicateGraph(),
+        result_filter=PredicateGraph(),
+    )
+
+
+def item(t, v):
+    return element("item", Element("t", text=float(t)), Element("v", text=float(v)))
+
+
+#: Compatible (fine, coarse) window lattices: coarse = (k·fine, m·step)
+#: with fine.size a multiple of fine.step.
+@st.composite
+def window_pairs(draw):
+    fine_step = draw(st.integers(min_value=1, max_value=4))
+    fine_size = fine_step * draw(st.integers(min_value=1, max_value=3))
+    coarse_size = fine_size * draw(st.integers(min_value=1, max_value=3))
+    coarse_step = fine_step * draw(st.integers(min_value=1, max_value=4))
+    return (fine_size, fine_step, coarse_size, coarse_step)
+
+
+VALUES = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False, width=32),
+    min_size=5,
+    max_size=60,
+)
+
+
+class TestWindowerInvariants:
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(5, 40))
+    @settings(max_examples=100, deadline=None)
+    def test_every_position_lands_in_its_windows(self, size, step, count):
+        windower = SlidingWindower(float(size), float(step))
+        emitted = []
+        for position in range(count):
+            emitted.extend(windower.add(float(position), position))
+        for window in emitted:
+            assert all(window.start <= p < window.end for p in window.contents)
+            expected = [p for p in range(count) if window.start <= p < window.end]
+            assert list(window.contents) == expected
+
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(5, 40))
+    @settings(max_examples=100, deadline=None)
+    def test_window_bounds_follow_lattice(self, size, step, count):
+        windower = SlidingWindower(float(size), float(step))
+        emitted = []
+        for position in range(count):
+            emitted.extend(windower.add(float(position), position))
+        for window in emitted:
+            assert window.start == window.index * step
+            assert window.end == window.start + size
+
+
+class TestReAggregationEquivalence:
+    @given(window_pairs(), VALUES, st.sampled_from(["avg", "sum", "count", "min", "max"]))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_fresh_coarse_aggregation(self, windows, values, function):
+        fine_size, fine_step, coarse_size, coarse_step = windows
+        fine = agg_spec(function, fine_size, fine_step)
+        coarse = agg_spec(function, coarse_size, coarse_step)
+        assume(coarse.window.shareable_from(fine.window))
+
+        items = [item(t, v) for t, v in enumerate(values)]
+
+        fresh = WindowAggregateOperator(coarse, ITEM)
+        expected = []
+        for i in items:
+            expected.extend(fresh.process(i))
+
+        fine_op = WindowAggregateOperator(fine, ITEM)
+        rebuild = ReAggregateOperator(ReAggregationSpec(fine, coarse))
+        actual = []
+        for i in items:
+            for partial in fine_op.process(i):
+                actual.extend(rebuild.process(partial))
+
+        assert len(actual) == len(expected)
+        for got, want in zip(actual, expected):
+            got_partial = wire_to_partial(got, function)
+            want_partial = wire_to_partial(want, function)
+            assert got_partial.count == want_partial.count
+            got_final = got_partial.final(function)
+            want_final = want_partial.final(function)
+            if want_final is None:
+                assert got_final is None
+            else:
+                assert abs(got_final - want_final) < 1e-6
+
+
+class TestWindowSpecLattice:
+    @given(window_pairs())
+    def test_shareability_is_reflexive_on_tiling_windows(self, windows):
+        fine_size, fine_step, _, _ = windows
+        spec = WindowSpec("count", Fraction(fine_size), Fraction(fine_step))
+        assert spec.shareable_from(spec)
+
+    @given(window_pairs(), window_pairs())
+    @settings(max_examples=100)
+    def test_shareability_transitive(self, first, second):
+        a = WindowSpec("count", Fraction(first[0]), Fraction(first[1]))
+        b = WindowSpec("count", Fraction(first[2]), Fraction(first[3]))
+        c = WindowSpec(
+            "count",
+            Fraction(first[2] * second[2]),
+            Fraction(first[3] * second[3]),
+        )
+        if b.shareable_from(a) and c.shareable_from(b):
+            assert c.shareable_from(a)

@@ -1,0 +1,100 @@
+"""Property-based tests for the XML substrate (hypothesis)."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xmlkit import Element, parse, prune_to_paths, serialize
+from repro.xmlkit.path import Path
+
+TAGS = st.text(alphabet=string.ascii_lowercase + "_", min_size=1, max_size=8)
+
+TEXTS = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs", "Cc"),
+    ),
+    min_size=1,
+    max_size=30,
+).filter(lambda s: s.strip() == s and s.strip() != "")
+
+
+def elements(max_depth=3):
+    return st.recursive(
+        st.builds(Element, TAGS, st.one_of(st.none(), TEXTS)),
+        lambda children: st.builds(
+            lambda tag, kids: Element(tag, children=kids),
+            TAGS,
+            st.lists(children, min_size=1, max_size=4),
+        ),
+        max_leaves=12,
+    )
+
+
+class TestSerializationRoundTrip:
+    @given(elements())
+    @settings(max_examples=200)
+    def test_parse_inverts_serialize(self, element):
+        assert parse(serialize(element)) == element
+
+    @given(elements())
+    @settings(max_examples=200)
+    def test_serialized_size_matches_serializer(self, element):
+        assert element.serialized_size() == len(serialize(element).encode("utf-8"))
+
+    @given(elements())
+    def test_copy_equals_original(self, element):
+        assert element.copy() == element
+
+    @given(elements())
+    def test_iter_counts_all_nodes(self, element):
+        via_iter = sum(1 for _ in element.iter())
+        def count(node):
+            return 1 + sum(count(c) for c in node.children)
+        assert via_iter == count(element)
+
+
+PATH_STEPS = st.lists(TAGS, min_size=0, max_size=4).map(tuple)
+
+
+class TestPathAlgebra:
+    @given(PATH_STEPS, PATH_STEPS)
+    def test_concat_then_relative(self, left, right):
+        combined = Path(left + right)
+        assert combined.starts_with(Path(left))
+        assert combined.relative_to(Path(left)) == Path(right)
+
+    @given(PATH_STEPS)
+    def test_str_parse_roundtrip(self, steps):
+        path = Path(steps)
+        assert Path(str(path)) == path if steps else path.is_empty()
+
+    @given(PATH_STEPS, PATH_STEPS)
+    def test_prefix_antisymmetry(self, a, b):
+        pa, pb = Path(a), Path(b)
+        if pa.starts_with(pb) and pb.starts_with(pa):
+            assert pa == pb
+
+
+class TestPruneProperties:
+    @given(elements(), st.lists(st.lists(TAGS, min_size=1, max_size=3), max_size=3))
+    @settings(max_examples=150)
+    def test_pruned_is_no_larger(self, element, raw_paths):
+        paths = [Path(tuple(steps)) for steps in raw_paths]
+        pruned = prune_to_paths(element, paths)
+        if pruned is not None:
+            assert pruned.serialized_size() <= element.serialized_size() + 2
+            assert pruned.tag == element.tag
+
+    @given(elements())
+    def test_prune_to_empty_path_is_identity(self, element):
+        assert prune_to_paths(element, [Path(())]) == element
+
+    @given(elements())
+    @settings(max_examples=100)
+    def test_prune_idempotent(self, element):
+        paths = [Path((child.tag,)) for child in element.children[:2]]
+        once = prune_to_paths(element, paths)
+        if once is None:
+            return
+        twice = prune_to_paths(once, paths)
+        assert twice == once

@@ -1,0 +1,145 @@
+"""Tests for query deregistration and stream garbage collection."""
+
+import pytest
+
+from tests.conftest import PAPER_QUERIES, make_system
+from repro.sharing.deregister import DeregistrationError, live_stream_ids
+from repro.sharing.validate import validate_deployment
+
+
+class TestBasicDeregistration:
+    def test_unknown_query_rejected(self):
+        system = make_system()
+        with pytest.raises(DeregistrationError):
+            system.deregister_query("ghost")
+
+    def test_sole_query_fully_cleaned(self):
+        system = make_system()
+        system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+        removed = system.deregister_query("Q1")
+        assert set(removed) >= {"Q1:photons"}
+        assert list(system.deployment.streams) == ["photons"]
+        assert system.deployment.queries == {}
+
+    def test_original_stream_always_survives(self):
+        system = make_system()
+        system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+        system.deregister_query("Q1")
+        assert "photons" in system.deployment.streams
+
+    def test_usage_ledger_released(self):
+        system = make_system()
+        system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+        system.deregister_query("Q1")
+        usage = system.deployment.usage
+        for link in system.net.links():
+            assert usage.link_traffic(link) == pytest.approx(0.0, abs=1e-6)
+        for peer in system.net.super_peer_names():
+            assert usage.peer_work(peer) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestSharedStreamSurvival:
+    def test_shared_stream_survives_producer_departure(self):
+        """Q2 consumes Q1's stream: deregistering Q1 must keep the
+        stream alive for Q2."""
+        system = make_system()
+        system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+        system.register_query("Q2", PAPER_QUERIES["Q2"], "P2")
+        assert system.deployment.stream("Q2:photons").parent_id == "Q1:photons"
+
+        removed = system.deregister_query("Q1")
+        assert "Q1:photons" not in removed
+        assert "Q1:photons" in system.deployment.streams
+        assert "Q2:photons" in system.deployment.streams
+        assert validate_deployment(system.deployment) == []
+
+    def test_cascade_when_last_consumer_leaves(self):
+        system = make_system()
+        system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+        system.register_query("Q2", PAPER_QUERIES["Q2"], "P2")
+        system.deregister_query("Q1")
+        removed = system.deregister_query("Q2")
+        # Both the Q2 delivery and the orphaned Q1 chain disappear.
+        assert "Q2:photons" in removed
+        assert "Q1:photons" in removed
+        assert list(system.deployment.streams) == ["photons"]
+
+    def test_execution_after_deregistration(self):
+        system = make_system()
+        system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+        system.register_query("Q2", PAPER_QUERIES["Q2"], "P2")
+        system.deregister_query("Q1")
+        metrics = system.run(duration=10.0)
+        assert "Q1" not in metrics.items_delivered
+        assert metrics.items_delivered["Q2"] > 0
+
+    def test_q2_results_unchanged_by_q1_departure(self):
+        keep = make_system()
+        keep.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+        keep.register_query("Q2", PAPER_QUERIES["Q2"], "P2")
+        baseline = keep.run(duration=10.0).items_delivered["Q2"]
+
+        churn = make_system()
+        churn.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+        churn.register_query("Q2", PAPER_QUERIES["Q2"], "P2")
+        churn.deregister_query("Q1")
+        assert churn.run(duration=10.0).items_delivered["Q2"] == baseline
+
+
+class TestLedgerParity:
+    def test_release_restores_pre_registration_ledger(self):
+        """Register A, snapshot, register B, deregister B: the ledger
+        returns to the snapshot."""
+        system = make_system()
+        system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+        usage = system.deployment.usage
+        snapshot_links = {
+            link.ends: usage.link_traffic(link) for link in system.net.links()
+        }
+        snapshot_peers = {
+            peer: usage.peer_work(peer) for peer in system.net.super_peer_names()
+        }
+        system.register_query("Q3", PAPER_QUERIES["Q3"], "P3")
+        system.deregister_query("Q3")
+        for link in system.net.links():
+            assert usage.link_traffic(link) == pytest.approx(
+                snapshot_links[link.ends], abs=1e-6
+            )
+        for peer in system.net.super_peer_names():
+            assert usage.peer_work(peer) == pytest.approx(
+                snapshot_peers[peer], abs=1e-6
+            )
+
+
+class TestLiveStreamAnalysis:
+    def test_live_set_contents(self):
+        system = make_system()
+        system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+        system.register_query("Q2", PAPER_QUERIES["Q2"], "P2")
+        live = live_stream_ids(system.deployment)
+        assert live == {"photons", "Q1:photons", "Q2:photons"}
+
+    def test_ancestors_of_deliveries_are_live(self):
+        system = make_system()
+        system.register_query("Q3", PAPER_QUERIES["Q3"], "P3")
+        system.register_query("Q4", PAPER_QUERIES["Q4"], "P4")
+        del system.deployment.queries["Q3"]
+        live = live_stream_ids(system.deployment)
+        # Q4's re-aggregation feeds on Q3's stream: it must stay live.
+        assert "Q3:photons" in live
+
+
+class TestScenarioChurn:
+    def test_mass_churn_leaves_consistent_state(self):
+        from repro.bench.harness import run_scenario
+        from repro.workload.scenarios import scenario_one
+
+        run = run_scenario(scenario_one(), "stream-sharing", execute=False)
+        system = run.system
+        # Deregister every other query, then audit.
+        for result in run.registrations[::2]:
+            system.deregister_query(result.query)
+        assert validate_deployment(system.deployment) == []
+        metrics = system.run(duration=10.0)
+        remaining = {r.query for r in run.registrations[1::2]}
+        assert set(metrics.items_delivered) <= remaining

@@ -1,0 +1,89 @@
+"""Tests for the deployment JSON export."""
+
+import json
+
+import pytest
+
+from tests.conftest import PAPER_QUERIES, make_system
+from repro.sharing.export import (
+    deployment_to_dict,
+    deployment_to_json,
+    operator_to_dict,
+)
+
+
+@pytest.fixture()
+def exported():
+    system = make_system("stream-sharing")
+    for name, peer in [("Q1", "P1"), ("Q2", "P2"), ("Q3", "P3"), ("Q4", "P4")]:
+        system.register_query(name, PAPER_QUERIES[name], peer)
+    return deployment_to_dict(system.deployment), system
+
+
+class TestDeploymentExport:
+    def test_is_json_serializable(self, exported):
+        data, system = exported
+        text = deployment_to_json(system.deployment)
+        assert json.loads(text) == json.loads(json.dumps(data, sort_keys=True))
+
+    def test_all_streams_exported(self, exported):
+        data, system = exported
+        ids = {stream["id"] for stream in data["streams"]}
+        assert ids == set(system.deployment.streams)
+
+    def test_original_stream_shape(self, exported):
+        data, _ = exported
+        original = next(s for s in data["streams"] if s["id"] == "photons")
+        assert original["parent"] is None
+        assert original["pipeline"] == []
+        assert original["content"]["operators"] == []
+
+    def test_derived_stream_shape(self, exported):
+        data, _ = exported
+        q1 = next(s for s in data["streams"] if s["id"] == "Q1:photons")
+        assert q1["parent"] == "photons"
+        kinds = [op["kind"] for op in q1["pipeline"]]
+        assert kinds == ["selection", "projection"]
+        assert "coord/cel/ra >= 120" in q1["pipeline"][0]["predicate"]
+
+    def test_reaggregation_exported(self, exported):
+        data, _ = exported
+        q4 = next(s for s in data["streams"] if s["id"] == "Q4:photons")
+        (op,) = q4["pipeline"]
+        assert op["kind"] == "reaggregation"
+        assert "diff 20 step 10" in op["reused_window"]
+        assert "diff 60 step 40" in op["new_window"]
+
+    def test_subscriptions_exported(self, exported):
+        data, _ = exported
+        names = {sub["name"] for sub in data["subscriptions"]}
+        assert names == {"Q1", "Q2", "Q3", "Q4"}
+        q2 = next(sub for sub in data["subscriptions"] if sub["name"] == "Q2")
+        assert q2["delivered"] == [{"input": "photons", "stream": "Q2:photons"}]
+
+    def test_usage_fractions_present(self, exported):
+        data, _ = exported
+        assert any(peer["used_load_fraction"] > 0 for peer in data["super_peers"])
+        assert any(link["used_bandwidth_fraction"] > 0 for link in data["links"])
+
+
+class TestOperatorExport:
+    def test_udf(self):
+        from repro.properties import UdfSpec
+
+        assert operator_to_dict(UdfSpec("f", ("a", "b"))) == {
+            "kind": "udf", "name": "f", "parameters": ["a", "b"],
+        }
+
+    def test_restructure(self):
+        from repro.properties import RestructureSpec
+
+        assert operator_to_dict(RestructureSpec("Q9"))["query"] == "Q9"
+
+    def test_window_contents(self):
+        from fractions import Fraction
+
+        from repro.properties import WindowContentsSpec, WindowSpec
+
+        spec = WindowContentsSpec(WindowSpec("count", Fraction(4), Fraction(2)))
+        assert operator_to_dict(spec) == {"kind": "window", "window": "|count 4 step 2|"}

@@ -1,0 +1,160 @@
+"""Integration tests for Algorithm 1 and the strategy registrars.
+
+These tests assert the *decisions* of the paper's running example
+(Section 1, Figure 2): Query 1 pushed to the source super-peer, Query 2
+answered from Query 1's stream, Query 4 answered from Query 3's
+aggregates via re-aggregation.
+"""
+
+import pytest
+
+from tests.conftest import PAPER_QUERIES, make_system
+from repro.sharing.planner import PlanningError
+
+
+class TestStreamSharingDecisions:
+    def test_q1_pushed_into_network(self):
+        """'its execution can be pushed into the network and computed at
+        SP4 instead of SP1' (Section 1)."""
+        system = make_system("stream-sharing")
+        result = system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+        plan = result.plan.inputs[0]
+        assert plan.reused_id == "photons"
+        assert plan.placement_node == "SP4"
+        assert plan.delivered.route == ("SP4", "SP5", "SP1")
+
+    def test_q2_reuses_q1_stream(self):
+        """'it can reuse the stream constituting the answer for Query 1
+        ... because the result of Query 2 is completely contained in the
+        answer for Query 1'."""
+        system = make_system("stream-sharing")
+        system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+        result = system.register_query("Q2", PAPER_QUERIES["Q2"], "P2")
+        plan = result.plan.inputs[0]
+        assert plan.reused_id == "Q1:photons"
+        assert {s.kind for s in plan.delivered.pipeline} <= {"selection", "projection"}
+
+    def test_q4_reuses_q3_aggregates(self):
+        """Figure 5: Q4's coarser windows rebuilt from Q3's aggregates."""
+        system = make_system("stream-sharing")
+        system.register_query("Q3", PAPER_QUERIES["Q3"], "P3")
+        result = system.register_query("Q4", PAPER_QUERIES["Q4"], "P4")
+        plan = result.plan.inputs[0]
+        assert plan.reused_id == "Q3:photons"
+        assert [s.kind for s in plan.delivered.pipeline] == ["reaggregation"]
+
+    def test_q3_does_not_reuse_q4(self):
+        """The reverse direction is not shareable (finer windows and a
+        filtered aggregate): Q3 must fall back to the original stream."""
+        system = make_system("stream-sharing")
+        system.register_query("Q4", PAPER_QUERIES["Q4"], "P4")
+        result = system.register_query("Q3", PAPER_QUERIES["Q3"], "P3")
+        assert result.plan.inputs[0].reused_id == "photons"
+
+    def test_identical_query_fully_reused(self):
+        system = make_system("stream-sharing")
+        system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+        result = system.register_query("Q1b", PAPER_QUERIES["Q1"], "P2")
+        plan = result.plan.inputs[0]
+        assert plan.reused_id == "Q1:photons"
+        assert plan.delivered.pipeline == ()
+
+    def test_search_telemetry_populated(self):
+        system = make_system("stream-sharing")
+        system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+        result = system.register_query("Q2", PAPER_QUERIES["Q2"], "P2")
+        assert result.plan.visited_nodes >= 1
+        assert result.plan.candidate_matches >= 1
+
+    def test_unknown_stream_rejected(self):
+        system = make_system("stream-sharing")
+        with pytest.raises(PlanningError):
+            system.register_query(
+                "bad",
+                '<r>{ for $p in stream("nonexistent")/a/b return $p }</r>',
+                "P1",
+            )
+
+    def test_registration_time_reported(self):
+        system = make_system("stream-sharing")
+        result = system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+        assert result.registration_ms > 0
+
+
+class TestBaselineStrategies:
+    def test_data_shipping_evaluates_at_subscriber(self):
+        system = make_system("data-shipping")
+        result = system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+        plan = result.plan.inputs[0]
+        assert plan.placement_node == "SP1"
+        assert plan.relay is not None
+        assert plan.relay.content.is_raw
+
+    def test_query_shipping_evaluates_at_source(self):
+        system = make_system("query-shipping")
+        result = system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+        plan = result.plan.inputs[0]
+        assert plan.placement_node == "SP4"
+        assert plan.relay is None
+
+    def test_baselines_never_share(self):
+        for strategy in ("data-shipping", "query-shipping"):
+            system = make_system(strategy)
+            system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+            result = system.register_query("Q1b", PAPER_QUERIES["Q1"], "P2")
+            assert result.plan.inputs[0].reused_id == "photons"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            make_system("carrier-pigeon")
+
+
+class TestDfsVariant:
+    def test_dfs_finds_valid_plans(self):
+        system = make_system("stream-sharing", search_order="dfs")
+        system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+        result = system.register_query("Q2", PAPER_QUERIES["Q2"], "P2")
+        assert result.accepted
+        assert result.plan.inputs[0].reused_id in ("photons", "Q1:photons")
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            make_system("stream-sharing", search_order="sideways")
+
+
+class TestAdmissionControl:
+    def test_rejection_under_tight_bandwidth(self):
+        from repro.bench.harness import scale_network
+        from repro.network.topology import example_topology
+        from repro.sharing import StreamGlobe
+        from repro.workload.photons import PhotonGenerator, PhotonStreamConfig
+
+        # 100 kbit/s links cannot carry the raw 100-items/s XML stream.
+        net = scale_network(example_topology(), link_bandwidth=100_000.0)
+        config = PhotonStreamConfig(seed=1, frequency=100.0)
+        system = StreamGlobe(net, strategy="data-shipping", admission_control=True)
+        system.register_stream(
+            "photons", "photons/photon", lambda: PhotonGenerator(config),
+            frequency=100.0, source_peer="P0",
+        )
+        result = system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+        assert not result.accepted
+        assert result.rejection_reason is not None
+        assert system.rejected_queries() == ["Q1"]
+
+    def test_rejected_query_leaves_no_streams(self):
+        from repro.bench.harness import scale_network
+        from repro.network.topology import example_topology
+        from repro.sharing import StreamGlobe
+        from repro.workload.photons import PhotonGenerator, PhotonStreamConfig
+
+        net = scale_network(example_topology(), link_bandwidth=100_000.0)
+        config = PhotonStreamConfig(seed=1, frequency=100.0)
+        system = StreamGlobe(net, strategy="data-shipping", admission_control=True)
+        system.register_stream(
+            "photons", "photons/photon", lambda: PhotonGenerator(config),
+            frequency=100.0, source_peer="P0",
+        )
+        system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+        assert list(system.deployment.streams) == ["photons"]
+        assert system.deployment.queries == {}

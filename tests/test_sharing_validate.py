@@ -1,0 +1,126 @@
+"""Tests for the deployment auditor — and audits of real deployments."""
+
+import pytest
+
+from tests.conftest import PAPER_QUERIES, make_system
+from repro.properties import raw_stream_properties
+from repro.sharing.plan import Deployment, InstalledStream
+from repro.sharing.validate import (
+    DeploymentInvariantError,
+    check_deployment,
+    validate_deployment,
+)
+from repro.network.topology import example_topology
+
+
+def raw_content():
+    return raw_stream_properties("photons", "photons/photon").single_input()
+
+
+class TestAuditorDetections:
+    @pytest.fixture()
+    def deployment(self):
+        deployment = Deployment(example_topology())
+        deployment.install_stream(
+            InstalledStream(
+                stream_id="photons", content=raw_content(),
+                origin_node="SP4", route=("SP4",),
+            )
+        )
+        return deployment
+
+    def test_healthy_deployment(self, deployment):
+        assert validate_deployment(deployment) == []
+        check_deployment(deployment)
+
+    def test_route_with_missing_link(self, deployment):
+        deployment.install_stream(
+            InstalledStream(
+                stream_id="bad", content=raw_content(), origin_node="SP4",
+                route=("SP4", "SP3"),  # no SP4-SP3 link
+                parent_id="photons",
+            )
+        )
+        problems = validate_deployment(deployment)
+        assert any("missing link" in p for p in problems)
+        with pytest.raises(DeploymentInvariantError):
+            check_deployment(deployment)
+
+    def test_tap_off_parent_route(self, deployment):
+        deployment.install_stream(
+            InstalledStream(
+                stream_id="bad", content=raw_content(), origin_node="SP0",
+                route=("SP0", "SP1"), parent_id="photons",
+            )
+        )
+        problems = validate_deployment(deployment)
+        assert any("not on the parent's route" in p for p in problems)
+
+    def test_underivable_content(self, deployment):
+        # A child claiming *more* data than the parent has: parent is a
+        # filtered stream, child claims raw content.
+        from fractions import Fraction
+
+        from repro.predicates import PredicateGraph, normalize_comparison
+        from repro.properties import SelectionSpec, StreamProperties
+        from repro.xmlkit import Path
+
+        filtered = StreamProperties(
+            "photons",
+            Path("photons/photon"),
+            (SelectionSpec(PredicateGraph(normalize_comparison(
+                Path("photons/photon/en"), ">=", None, Fraction(1)
+            ))),),
+        )
+        deployment.install_stream(
+            InstalledStream(
+                stream_id="narrow", content=filtered, origin_node="SP4",
+                route=("SP4", "SP5"), parent_id="photons",
+            )
+        )
+        deployment.install_stream(
+            InstalledStream(
+                stream_id="impossible", content=raw_content(), origin_node="SP5",
+                route=("SP5",), parent_id="narrow",
+            )
+        )
+        problems = validate_deployment(deployment)
+        assert any("not derivable" in p for p in problems)
+
+    def test_negative_usage_detected(self, deployment):
+        deployment.usage.add_peer_work("SP4", -100.0)
+        problems = validate_deployment(deployment)
+        assert any("negative work" in p for p in problems)
+
+
+class TestRealDeploymentsAreHealthy:
+    @pytest.mark.parametrize("strategy", ["data-shipping", "query-shipping", "stream-sharing"])
+    def test_paper_queries(self, strategy):
+        system = make_system(strategy)
+        for name, peer in [("Q1", "P1"), ("Q2", "P2"), ("Q3", "P3"), ("Q4", "P4")]:
+            system.register_query(name, PAPER_QUERIES[name], peer)
+        assert validate_deployment(system.deployment) == []
+
+    def test_widened_deployment_healthy(self):
+        system = make_system("stream-sharing", enable_widening=True)
+        narrow = PAPER_QUERIES["Q2"]
+        wide = PAPER_QUERIES["Q1"]
+        system.register_query("narrow", narrow, "P2")
+        system.register_query("wide", wide, "P1")
+        assert validate_deployment(system.deployment) == []
+
+    def test_scenario_one_sharing_healthy(self):
+        from repro.bench.harness import run_scenario
+        from repro.workload.scenarios import scenario_one
+
+        run = run_scenario(scenario_one(), "stream-sharing", execute=False)
+        assert validate_deployment(run.system.deployment) == []
+
+    def test_scenario_one_with_widening_healthy(self):
+        from repro.bench.harness import run_scenario
+        from repro.workload.scenarios import scenario_one
+
+        run = run_scenario(
+            scenario_one(), "stream-sharing", enable_widening=True, execute=False
+        )
+        assert validate_deployment(run.system.deployment) == []

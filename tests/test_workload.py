@@ -1,0 +1,166 @@
+"""Unit tests for the photon generator, templates, and scenarios."""
+
+import pytest
+
+from repro.wxquery import analyze, parse_query
+from repro.workload import (
+    PhotonGenerator,
+    PhotonStreamConfig,
+    QueryTemplateGenerator,
+    RXJ_REGION,
+    VELA_REGION,
+    average_item_size,
+    scenario_one,
+    scenario_two,
+)
+from repro.xmlkit import PHOTON_SCHEMA
+
+
+class TestPhotonGenerator:
+    def test_deterministic_for_seed(self):
+        first = PhotonGenerator(PhotonStreamConfig(seed=5)).take(50)
+        second = PhotonGenerator(PhotonStreamConfig(seed=5)).take(50)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = PhotonGenerator(PhotonStreamConfig(seed=5)).take(50)
+        second = PhotonGenerator(PhotonStreamConfig(seed=6)).take(50)
+        assert first != second
+
+    def test_items_conform_to_schema(self):
+        for item in PhotonGenerator(PhotonStreamConfig(seed=7)).take(100):
+            PHOTON_SCHEMA.validate(item)
+
+    def test_det_time_strictly_increasing(self):
+        generator = PhotonGenerator(PhotonStreamConfig(seed=7))
+        times = [float(item.find(["det_time"]).text) for item in generator.items(200)]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_clock_tracks_frequency(self):
+        generator = PhotonGenerator(PhotonStreamConfig(seed=7, frequency=50.0))
+        generator.take(500)
+        # 500 items at 50/s ≈ 10 virtual seconds.
+        assert generator.clock == pytest.approx(10.0, rel=0.15)
+        assert generator.emitted == 500
+
+    def test_positions_inside_strip(self):
+        config = PhotonStreamConfig(seed=7)
+        for item in PhotonGenerator(config).take(200):
+            ra = float(item.find(["coord", "cel", "ra"]).text)
+            dec = float(item.find(["coord", "cel", "dec"]).text)
+            assert config.strip.contains(ra, dec)
+
+    def test_energies_in_band(self):
+        config = PhotonStreamConfig(seed=7)
+        for item in PhotonGenerator(config).take(200):
+            energy = float(item.find(["en"]).text)
+            assert config.energy_min <= energy <= config.energy_max
+
+    def test_hot_spot_overdensity(self):
+        """The vela region must be photon-rich (its hot spot drives the
+        paper's example queries)."""
+        sample = PhotonGenerator(PhotonStreamConfig(seed=7)).take(2000)
+        in_vela = sum(
+            1 for item in sample
+            if VELA_REGION.contains(
+                float(item.find(["coord", "cel", "ra"]).text),
+                float(item.find(["coord", "cel", "dec"]).text),
+            )
+        )
+        strip_area = (160 - 100) * (60 - 20)
+        vela_area = (VELA_REGION.ra_max - VELA_REGION.ra_min) * (
+            VELA_REGION.dec_max - VELA_REGION.dec_min
+        )
+        uniform_expectation = len(sample) * vela_area / strip_area
+        assert in_vela > 2 * uniform_expectation
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            PhotonStreamConfig(frequency=0)
+
+    def test_average_item_size_stable(self):
+        assert average_item_size() == average_item_size()
+
+    def test_region_helpers(self):
+        assert RXJ_REGION.ra_min >= VELA_REGION.ra_min
+        assert VELA_REGION.contains(*RXJ_REGION.center)
+
+
+class TestQueryTemplates:
+    def test_deterministic(self):
+        first = QueryTemplateGenerator(seed=3).generate(20)
+        second = QueryTemplateGenerator(seed=3).generate(20)
+        assert first == second
+
+    def test_all_generated_queries_are_valid_wxquery(self):
+        for generated in QueryTemplateGenerator(seed=3).generate(60):
+            analyzed = analyze(parse_query(generated.text))
+            assert analyzed.streams() == ["photons"]
+
+    def test_kinds_cover_all_templates(self):
+        kinds = {g.kind for g in QueryTemplateGenerator(seed=3).generate(60)}
+        assert kinds == {"selection", "projection", "aggregation"}
+
+    def test_names_unique(self):
+        names = [g.name for g in QueryTemplateGenerator(seed=3).generate(40)]
+        assert len(names) == len(set(names))
+
+    def test_stream_parameter_respected(self):
+        generated = QueryTemplateGenerator(stream="other", seed=3).generate(10)
+        for g in generated:
+            assert 'stream("other")' in g.text
+
+    def test_shareability_engineered(self):
+        """Pool-drawn constants must actually collide: some pair of
+        generated selection queries shares an identical predicate."""
+        from repro.properties import extract_properties
+
+        generated = QueryTemplateGenerator(seed=3).generate(40)
+        graphs = []
+        for g in generated:
+            if g.kind == "aggregation":
+                continue
+            p = extract_properties(parse_query(g.text), g.name).single_input()
+            if p.selection is not None:
+                graphs.append(p.selection.graph)
+        collisions = sum(
+            1
+            for i, a in enumerate(graphs)
+            for b in graphs[i + 1:]
+            if a == b
+        )
+        assert collisions > 0
+
+
+class TestScenarios:
+    def test_scenario_one_shape(self):
+        scenario = scenario_one()
+        assert len(scenario.queries) == 25
+        assert len(scenario.sources) == 1
+        net = scenario.build_network()
+        assert len(net) == 8
+
+    def test_scenario_two_shape(self):
+        scenario = scenario_two()
+        assert len(scenario.queries) == 100
+        assert len(scenario.sources) == 2
+        net = scenario.build_network()
+        assert len(net) == 16
+        assert net.home_of("T0") == "SP0"
+        assert net.home_of("T1") == "SP15"
+
+    def test_scenarios_deterministic(self):
+        assert [q.text for q in scenario_one().queries] == [
+            q.text for q in scenario_one().queries
+        ]
+
+    def test_scenario_two_uses_both_streams(self):
+        streams = set()
+        for query in scenario_two().queries:
+            streams.update(analyze(parse_query(query.text)).streams())
+        assert streams == {"photons", "photons2"}
+
+    def test_all_scenario_queries_parse(self):
+        for scenario in (scenario_one(), scenario_two()):
+            for query in scenario.queries:
+                analyze(parse_query(query.text))

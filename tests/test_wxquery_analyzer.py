@@ -1,0 +1,174 @@
+"""Unit tests for semantic analysis."""
+
+import pytest
+
+from tests.conftest import PAPER_QUERIES
+from repro.wxquery import AnalysisError, analyze, parse_query
+from repro.xmlkit import Path
+
+
+def analyzed(text):
+    return analyze(parse_query(text))
+
+
+class TestBindings:
+    def test_stream_binding(self):
+        result = analyzed('<r>{ for $p in stream("s")/root/item return $p }</r>')
+        binding = result.bindings["p"]
+        assert binding.stream == "s"
+        assert binding.absolute_path == Path("root/item")
+
+    def test_chained_binding_absolutized(self):
+        result = analyzed(
+            '<r>{ for $p in stream("s")/a/b for $q in $p/c/d return $q }</r>'
+        )
+        assert result.bindings["q"].absolute_path == Path("a/b/c/d")
+
+    def test_let_binding(self):
+        result = analyzed(
+            '<r>{ for $w in stream("s")/a/b |count 4| let $a := sum($w/x) return $a }</r>'
+        )
+        binding = result.bindings["a"]
+        assert binding.kind == "let"
+        assert binding.aggregate == "sum"
+        assert binding.absolute_path == Path("a/b/x")
+
+    def test_undefined_variable_in_for(self):
+        with pytest.raises(AnalysisError):
+            analyzed('<r>{ for $q in $nope/c return $q }</r>')
+
+    def test_undefined_variable_in_let(self):
+        with pytest.raises(AnalysisError):
+            analyzed('<r>{ for $w in stream("s")/a |count 2| let $a := avg($x/y) return $a }</r>')
+
+    def test_let_requires_window(self):
+        with pytest.raises(AnalysisError) as err:
+            analyzed('<r>{ for $w in stream("s")/a/b let $a := avg($w/x) return $a }</r>')
+        assert "window" in str(err.value)
+
+    def test_duplicate_variable(self):
+        with pytest.raises(AnalysisError):
+            analyzed('<r>{ for $p in stream("s")/a for $p in stream("t")/b return $p }</r>')
+
+    def test_self_join_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyzed(
+                '<r>{ for $p in stream("s")/a for $q in stream("s")/a return $p }</r>'
+            )
+
+    def test_doc_source_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyzed('<r>{ for $d in doc("ref")/a return $d }</r>')
+
+    def test_iterating_aggregate_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyzed(
+                '<r>{ for $w in stream("s")/a |count 2| let $a := avg($w/x) '
+                "for $z in $a/y return $z }</r>"
+            )
+
+
+class TestConditionClassification:
+    def test_selection_vs_aggregate_filter(self):
+        result = analyzed(PAPER_QUERIES["Q4"])
+        assert len(result.selection) == 4
+        assert len(result.aggregate_filters) == 1
+        assert result.aggregate_filters[0].left_binding.var == "a"
+
+    def test_not_equals_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyzed('<r>{ for $p in stream("s")/a/b where $p/x != 1 return $p }</r>')
+
+    def test_cross_stream_join_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyzed(
+                '<r>{ for $p in stream("s")/a for $q in stream("t")/b '
+                "where $p/x <= $q/y return $p }</r>"
+            )
+
+    def test_same_stream_variable_comparison_allowed(self):
+        result = analyzed(
+            '<r>{ for $p in stream("s")/a/b where $p/x <= $p/y + 2 return $p }</r>'
+        )
+        atom = result.selection[0]
+        assert atom.right_path == Path("a/b/y")
+
+    def test_aggregate_compared_to_variable_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyzed(
+                '<r>{ for $w in stream("s")/a/b |count 2| let $a := avg($w/x) '
+                "where $a >= $w/y return $a }</r>"
+            )
+
+    def test_navigation_into_aggregate_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyzed(
+                '<r>{ for $w in stream("s")/a/b |count 2| let $a := avg($w/x) '
+                "where $a/y >= 1 return $a }</r>"
+            )
+
+    def test_path_condition_resolved_to_binding(self):
+        result = analyzed(
+            '<r>{ for $w in stream("s")/a/b[x >= 1] |count 2| '
+            "let $a := avg($w/x) return $a }</r>"
+        )
+        assert result.selection[0].left_path == Path("a/b/x")
+
+
+class TestOutputs:
+    def test_referenced_and_output_paths(self):
+        result = analyzed(PAPER_QUERIES["Q1"])
+        outputs = {str(p) for p in result.output_paths["photons"]}
+        assert outputs == {
+            "photons/photon/coord/cel/ra",
+            "photons/photon/coord/cel/dec",
+            "photons/photon/phc",
+            "photons/photon/en",
+            "photons/photon/det_time",
+        }
+        assert result.referenced_paths["photons"] >= result.output_paths["photons"]
+
+    def test_whole_item_output(self):
+        result = analyzed('<r>{ for $p in stream("s")/a/b return $p }</r>')
+        assert Path("a/b") in result.output_paths["s"]
+
+    def test_undefined_output_variable(self):
+        with pytest.raises(AnalysisError):
+            analyzed('<r>{ for $p in stream("s")/a return $zzz }</r>')
+
+    def test_nested_flwr_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyzed(
+                '<r>{ for $p in stream("s")/a/b return '
+                '<x>{ for $q in $p/c return $q }</x> }</r>'
+            )
+
+    def test_no_flwr_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyzed("<r/>")
+
+    def test_multiple_top_level_flwrs_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyzed(
+                '<r>{ for $p in stream("s")/a return $p }'
+                '{ for $q in stream("t")/b return $q }</r>'
+            )
+
+
+class TestStreamLists:
+    def test_single_stream(self):
+        result = analyzed(PAPER_QUERIES["Q3"])
+        assert result.streams() == ["photons"]
+
+    def test_two_streams(self):
+        result = analyzed(
+            '<r>{ for $p in stream("s")/a/b for $q in stream("t")/c/d '
+            "return ($p, $q) }</r>"
+        )
+        assert result.streams() == ["s", "t"]
+        assert result.binding_for_stream("t").var == "q"
+
+    def test_binding_for_unknown_stream(self):
+        result = analyzed('<r>{ for $p in stream("s")/a/b return $p }</r>')
+        with pytest.raises(AnalysisError):
+            result.binding_for_stream("other")

@@ -1,0 +1,113 @@
+"""Unit tests for the WXQuery tokenizer."""
+
+import pytest
+
+from repro.wxquery import LexError, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)[:-1]]  # drop EOF
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestTags:
+    def test_open_close(self):
+        assert kinds("<photons></photons>") == ["OPEN_TAG", "CLOSE_TAG"]
+        assert values("<photons></photons>") == ["photons", "photons"]
+
+    def test_empty_tag(self):
+        tokens = tokenize("<br/>")
+        assert tokens[0].kind == "EMPTY_TAG" and tokens[0].value == "br"
+
+    def test_lt_not_a_tag(self):
+        assert kinds("$a < 3") == ["VARIABLE", "LT", "NUMBER"]
+
+    def test_le_operator(self):
+        assert kinds("$a <= 3") == ["VARIABLE", "LE", "NUMBER"]
+
+    def test_tag_with_dash_and_digits(self):
+        assert tokenize("<avg_en>")[0].value == "avg_en"
+
+
+class TestOperatorsAndLiterals:
+    def test_comparisons(self):
+        assert kinds("= < <= > >= !=") == ["EQ", "LT", "LE", "GT", "GE", "NE"]
+
+    def test_assign(self):
+        assert kinds(":=") == ["ASSIGN"]
+
+    def test_bare_colon_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("a : b")
+
+    def test_bare_bang_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("a ! b")
+
+    def test_numbers(self):
+        assert values("12 3.5 0.25") == ["12", "3.5", "0.25"]
+
+    def test_decimal_needs_digits(self):
+        with pytest.raises(LexError):
+            tokenize("1. ")
+
+    def test_strings(self):
+        tokens = tokenize('"photons" \'doc\'')
+        assert [t.value for t in tokens[:-1]] == ["photons", "doc"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_variables(self):
+        tokens = tokenize("$p $long_name")
+        assert [t.value for t in tokens[:-1]] == ["p", "long_name"]
+
+    def test_variable_needs_name(self):
+        with pytest.raises(LexError):
+            tokenize("$ p")
+
+    def test_punctuation(self):
+        assert kinds("{ } ( ) [ ] | / , + -") == [
+            "LBRACE", "RBRACE", "LPAREN", "RPAREN", "LBRACKET", "RBRACKET",
+            "PIPE", "SLASH", "COMMA", "PLUS", "MINUS",
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a # b")
+
+
+class TestStructure:
+    def test_positions(self):
+        tokens = tokenize("for\n  $p")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_eof_always_present(self):
+        assert tokenize("")[-1].kind == "EOF"
+        assert tokenize("   ")[-1].kind == "EOF"
+
+    def test_comments_skipped(self):
+        assert kinds("for (: note :) $p") == ["NAME", "VARIABLE"]
+
+    def test_nested_comments(self):
+        assert kinds("(: a (: b :) c :) $x") == ["VARIABLE"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("(: open")
+
+    def test_window_tokens(self):
+        assert kinds("|det_time diff 20 step 10|") == [
+            "PIPE", "NAME", "NAME", "NUMBER", "NAME", "NUMBER", "PIPE",
+        ]
+
+    def test_full_query_tokenizes(self):
+        from tests.conftest import PAPER_QUERIES
+
+        for text in PAPER_QUERIES.values():
+            assert tokenize(text)[-1].kind == "EOF"

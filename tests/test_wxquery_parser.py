@@ -1,0 +1,216 @@
+"""Unit tests for the WXQuery parser (Definition 2.1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from tests.conftest import PAPER_QUERIES
+from repro.wxquery import (
+    DirectElement,
+    EmptyElement,
+    EnclosedExpr,
+    FLWRExpr,
+    ForClause,
+    IfExpr,
+    LetClause,
+    ParseError,
+    PathOutput,
+    SequenceExpr,
+    StreamSource,
+    VarOutput,
+    parse_query,
+)
+from repro.xmlkit import Path
+
+
+def flwr_of(text):
+    query = parse_query(text)
+    body = query.body
+    assert isinstance(body, DirectElement)
+    enclosed = body.content[0]
+    assert isinstance(enclosed, EnclosedExpr)
+    assert isinstance(enclosed.body, FLWRExpr)
+    return enclosed.body
+
+
+class TestElementConstructors:
+    def test_empty_element(self):
+        assert parse_query("<photons/>").body == EmptyElement("photons")
+
+    def test_nested_constructors(self):
+        body = parse_query("<a><b/><c><d/></c></a>").body
+        assert isinstance(body, DirectElement)
+        assert isinstance(body.content[0], EmptyElement)
+        assert isinstance(body.content[1], DirectElement)
+
+    def test_mismatched_close_tag(self):
+        with pytest.raises(ParseError):
+            parse_query("<a></b>")
+
+    def test_unterminated_element(self):
+        with pytest.raises(ParseError):
+            parse_query("<a><b/>")
+
+    def test_raw_text_in_constructor_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("<a>words</a>")
+
+
+class TestFLWR:
+    def test_minimal_for(self):
+        flwr = flwr_of('<r>{ for $p in stream("s")/root/item return $p }</r>')
+        (clause,) = flwr.clauses
+        assert isinstance(clause, ForClause)
+        assert clause.var == "p"
+        assert clause.source == StreamSource("stream", "s")
+        assert clause.path == Path("root/item")
+        assert flwr.return_expr == VarOutput("p")
+
+    def test_where_clause(self):
+        flwr = flwr_of(
+            '<r>{ for $p in stream("s")/a/b where $p/x >= 1 and $p/y <= 2.5 return $p }</r>'
+        )
+        assert flwr.where is not None
+        assert len(flwr.where.atoms) == 2
+        assert flwr.where.atoms[0].op == ">="
+        assert flwr.where.atoms[1].constant == Fraction("2.5")
+
+    def test_negative_constants(self):
+        flwr = flwr_of('<r>{ for $p in stream("s")/a/b where $p/x >= -49.0 return $p }</r>')
+        assert flwr.where.atoms[0].constant == Fraction("-49")
+
+    def test_variable_comparison_with_offset(self):
+        flwr = flwr_of(
+            '<r>{ for $p in stream("s")/a/b where $p/x <= $p/y + 3 return $p }</r>'
+        )
+        atom = flwr.where.atoms[0]
+        assert atom.right_operand is not None
+        assert atom.constant == Fraction(3)
+
+    def test_variable_comparison_with_negative_offset(self):
+        flwr = flwr_of(
+            '<r>{ for $p in stream("s")/a/b where $p/x <= $p/y - 3 return $p }</r>'
+        )
+        assert flwr.where.atoms[0].constant == Fraction(-3)
+
+    def test_path_conditions_split_off(self):
+        flwr = flwr_of(
+            '<r>{ for $w in stream("s")/a/b[x >= 1 and y <= 2] return $w }</r>'
+        )
+        (clause,) = flwr.clauses
+        assert clause.path == Path("a/b")
+        assert len(clause.path_condition.atoms) == 2
+        assert clause.path_condition.atoms[0].left.var is None  # implicit
+
+    def test_path_condition_on_intermediate_step_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query('<r>{ for $w in stream("s")/a[x >= 1]/b return $w }</r>')
+
+    def test_chained_for_over_variable(self):
+        flwr = flwr_of(
+            '<r>{ for $p in stream("s")/a/b for $q in $p/c return $q }</r>'
+        )
+        second = flwr.clauses[1]
+        assert second.source == "p"
+        assert second.path == Path("c")
+
+    def test_let_aggregation(self):
+        flwr = flwr_of(
+            '<r>{ for $w in stream("s")/a/b |count 10| let $a := avg($w/en) return $a }</r>'
+        )
+        let = flwr.clauses[1]
+        assert isinstance(let, LetClause)
+        assert (let.var, let.function, let.source_var, let.path) == (
+            "a", "avg", "w", Path("en"),
+        )
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query(
+                '<r>{ for $w in stream("s")/a |count 2| let $a := median($w/x) return $a }</r>'
+            )
+
+    def test_missing_return_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query('<r>{ for $p in stream("s")/a }</r>')
+
+    def test_doc_source_parses(self):
+        flwr = flwr_of('<r>{ for $d in doc("ref")/a return $d }</r>')
+        assert flwr.clauses[0].source == StreamSource("doc", "ref")
+
+
+class TestWindows:
+    def test_count_window_with_step(self):
+        flwr = flwr_of('<r>{ for $w in stream("s")/a/b |count 20 step 10| return $w }</r>')
+        window = flwr.clauses[0].window
+        assert (window.kind, window.size, window.step) == ("count", 20, 10)
+
+    def test_count_window_default_step(self):
+        flwr = flwr_of('<r>{ for $w in stream("s")/a/b |count 20| return $w }</r>')
+        window = flwr.clauses[0].window
+        assert window.step is None and window.effective_step == 20
+
+    def test_time_window(self):
+        flwr = flwr_of(
+            '<r>{ for $w in stream("s")/a/b |det_time diff 60 step 40| return $w }</r>'
+        )
+        window = flwr.clauses[0].window
+        assert (window.kind, str(window.reference)) == ("diff", "det_time")
+        assert (window.size, window.step) == (60, 40)
+
+    def test_window_reference_with_path(self):
+        flwr = flwr_of('<r>{ for $w in stream("s")/a/b |t/s diff 5| return $w }</r>')
+        assert flwr.clauses[0].window.reference == Path("t/s")
+
+    def test_unterminated_window(self):
+        with pytest.raises(ParseError):
+            parse_query('<r>{ for $w in stream("s")/a |count 20 return $w }</r>')
+
+
+class TestOtherExpressions:
+    def test_if_expression(self):
+        flwr = flwr_of(
+            '<r>{ for $w in stream("s")/a/b |count 4| let $a := avg($w/x) '
+            "return if $a >= 1 then <hi/> else <lo/> }</r>"
+        )
+        assert isinstance(flwr.return_expr, IfExpr)
+
+    def test_sequence(self):
+        flwr = flwr_of(
+            '<r>{ for $p in stream("s")/a/b return ($p/x, $p/y) }</r>'
+        )
+        seq = flwr.return_expr
+        assert isinstance(seq, SequenceExpr)
+        assert seq.items == (PathOutput("p", Path("x")), PathOutput("p", Path("y")))
+
+    def test_empty_sequence(self):
+        flwr = flwr_of('<r>{ for $p in stream("s")/a/b return () }</r>')
+        assert flwr.return_expr == SequenceExpr(())
+
+    def test_path_output(self):
+        flwr = flwr_of('<r>{ for $p in stream("s")/a/b return $p/c/d }</r>')
+        assert flwr.return_expr == PathOutput("p", Path("c/d"))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("<a/> <b/>")
+
+
+class TestPaperQueries:
+    @pytest.mark.parametrize("name", ["Q1", "Q2", "Q3", "Q4"])
+    def test_parses(self, name):
+        query = parse_query(PAPER_QUERIES[name])
+        assert query.streams() == ["photons"]
+
+    def test_q1_structure(self):
+        flwr = flwr_of(PAPER_QUERIES["Q1"])
+        assert len(flwr.where.atoms) == 4
+        assert isinstance(flwr.return_expr, DirectElement)
+        assert flwr.return_expr.tag == "vela"
+
+    def test_q4_structure(self):
+        flwr = flwr_of(PAPER_QUERIES["Q4"])
+        clause = flwr.clauses[0]
+        assert clause.window.kind == "diff"
+        assert len(clause.path_condition.atoms) == 4
+        assert len(flwr.where.atoms) == 1  # the $a >= 1.3 filter

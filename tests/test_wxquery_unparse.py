@@ -1,0 +1,45 @@
+"""Round-trip tests for the unparser: parse → unparse → parse is identity."""
+
+import pytest
+
+from tests.conftest import PAPER_QUERIES
+from repro.wxquery import parse_query, unparse
+
+ROUND_TRIP_QUERIES = [
+    "<empty/>",
+    "<a><b/><c/></a>",
+    '<r>{ for $p in stream("s")/a/b return $p }</r>',
+    '<r>{ for $p in stream("s")/a/b where $p/x >= 1.5 return $p/y }</r>',
+    '<r>{ for $p in stream("s")/a/b where $p/x <= $p/y + 3 return $p }</r>',
+    '<r>{ for $p in stream("s")/a/b where $p/x >= $p/y - 2.5 return $p }</r>',
+    '<r>{ for $w in stream("s")/a/b[x >= 1 and y <= -2.5] |count 20 step 10| '
+    "let $a := avg($w/x) return <v> { $a } </v> }</r>",
+    '<r>{ for $w in stream("s")/a/b |det_time diff 60 step 40| '
+    "let $a := max($w/en) where $a >= 1.3 return <v> { $a } </v> }</r>",
+    '<r>{ for $p in stream("s")/a/b return ($p/x, $p/y, <sep/>) }</r>',
+    '<r>{ for $w in stream("s")/a/b |count 4| let $a := avg($w/x) '
+    "return if $a >= 1 then <hi/> else <lo/> }</r>",
+]
+
+
+@pytest.mark.parametrize("text", ROUND_TRIP_QUERIES)
+def test_round_trip(text):
+    first = parse_query(text)
+    rendered = unparse(first)
+    second = parse_query(rendered)
+    assert second.body == first.body, rendered
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_QUERIES))
+def test_paper_queries_round_trip(name):
+    first = parse_query(PAPER_QUERIES[name])
+    second = parse_query(unparse(first))
+    assert second.body == first.body
+
+
+def test_unparse_is_stable():
+    """unparse(parse(unparse(q))) == unparse(q) — a fixed point."""
+    for text in ROUND_TRIP_QUERIES:
+        once = unparse(parse_query(text))
+        twice = unparse(parse_query(once))
+        assert once == twice

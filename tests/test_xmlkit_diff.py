@@ -1,0 +1,75 @@
+"""Tests for the structural element diff."""
+
+import pytest
+
+from repro.xmlkit import Element, element
+from repro.xmlkit.diff import assert_elements_equal, diff_elements, first_difference
+
+
+def photon(en="1.5", extra=False):
+    children = [
+        element("coord", element("cel", Element("ra", text="130.0"))),
+        Element("en", text=en),
+    ]
+    if extra:
+        children.append(Element("flag"))
+    return Element("photon", children=children)
+
+
+class TestDiffElements:
+    def test_equal_trees(self):
+        assert diff_elements(photon(), photon()) == []
+        assert first_difference(photon(), photon()) == "equal"
+
+    def test_tag_difference_short_circuits(self):
+        diffs = diff_elements(Element("a"), Element("b"))
+        assert len(diffs) == 1
+        assert "tag" in diffs[0].reason
+
+    def test_text_difference_addressed(self):
+        diffs = diff_elements(photon("1.5"), photon("2.0"))
+        (diff,) = diffs
+        assert diff.path == "photon/en[1]"
+        assert "'1.5'" in diff.reason and "'2.0'" in diff.reason
+
+    def test_missing_child(self):
+        diffs = diff_elements(photon(extra=True), photon())
+        (diff,) = diffs
+        assert diff.path == "photon/flag[2]"
+        assert diff.reason == "missing from actual"
+
+    def test_unexpected_child(self):
+        diffs = diff_elements(photon(), photon(extra=True))
+        (diff,) = diffs
+        assert diff.reason == "unexpected in actual"
+
+    def test_nested_difference_path(self):
+        left = photon()
+        right = photon()
+        right.children[0].children[0].children[0].text = "99.0"
+        (diff,) = diff_elements(left, right)
+        assert diff.path == "photon/coord[0]/cel[0]/ra[0]"
+
+    def test_multiple_differences_all_reported(self):
+        left = element("r", Element("a", text="1"), Element("b", text="2"))
+        right = element("r", Element("a", text="9"), Element("b", text="8"))
+        assert len(diff_elements(left, right)) == 2
+
+
+class TestAssertHelper:
+    def test_passes_on_equal(self):
+        assert_elements_equal(photon(), photon())
+
+    def test_raises_with_listing(self):
+        with pytest.raises(AssertionError) as error:
+            assert_elements_equal(photon("1.5"), photon("2.0"))
+        assert "photon/en[1]" in str(error.value)
+
+    def test_diff_agrees_with_equality(self):
+        """diff is empty exactly when == holds (spot-checked)."""
+        from repro.workload.photons import PhotonGenerator, PhotonStreamConfig
+
+        items = PhotonGenerator(PhotonStreamConfig(seed=3)).take(10)
+        for first in items[:3]:
+            for second in items[:3]:
+                assert (diff_elements(first, second) == []) == (first == second)

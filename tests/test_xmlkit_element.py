@@ -1,0 +1,135 @@
+"""Unit tests for the XML element model."""
+
+import pytest
+
+from repro.xmlkit import Element, element, serialize
+from repro.xmlkit.element import _coerce_text
+
+
+class TestConstruction:
+    def test_plain_element(self):
+        node = Element("photon")
+        assert node.tag == "photon"
+        assert node.text is None
+        assert node.children == []
+
+    def test_text_element(self):
+        assert Element("en", text="1.5").text == "1.5"
+
+    def test_int_text_canonicalized(self):
+        assert Element("phc", text=42).text == "42"
+
+    def test_float_text_roundtrips(self):
+        node = Element("ra", text=130.4567)
+        assert float(node.text) == 130.4567
+
+    def test_bool_text_rejected(self):
+        with pytest.raises(TypeError):
+            Element("flag", text=True)
+
+    def test_invalid_tag_rejected(self):
+        for bad in ("", "a b", "a<b", "a&b", "a/b", 'a"b'):
+            with pytest.raises(ValueError):
+                Element(bad)
+
+    def test_mixed_content_rejected(self):
+        with pytest.raises(ValueError):
+            Element("x", text="t", children=[Element("y")])
+
+    def test_append_to_text_element_rejected(self):
+        node = Element("x", text="t")
+        with pytest.raises(ValueError):
+            node.append(Element("y"))
+
+    def test_element_constructor_helper(self):
+        node = element("a", element("b"), element("c"))
+        assert [c.tag for c in node.children] == ["b", "c"]
+
+    def test_coerce_unsupported_type(self):
+        with pytest.raises(TypeError):
+            _coerce_text(object())
+
+
+class TestNavigation:
+    @pytest.fixture()
+    def tree(self):
+        return element(
+            "photon",
+            element("coord", element("cel", element("ra", text=130.0), element("dec", text=-45.0))),
+            element("en", text=1.2),
+        )
+
+    def test_child(self, tree):
+        assert tree.child("en").text == "1.2"
+        assert tree.child("missing") is None
+
+    def test_find(self, tree):
+        assert tree.find(["coord", "cel", "ra"]).text == "130.0"
+        assert tree.find(["coord", "det"]) is None
+        assert tree.find([]) is tree
+
+    def test_find_all(self, tree):
+        assert len(tree.find_all(["coord", "cel", "ra"])) == 1
+        assert tree.find_all(["nope"]) == []
+
+    def test_find_all_multiple_occurrences(self):
+        tree = element("r", element("x", text=1), element("x", text=2))
+        assert [e.text for e in tree.find_all(["x"])] == ["1", "2"]
+
+    def test_value_and_number(self, tree):
+        assert tree.value(["en"]) == "1.2"
+        assert tree.number(["en"]) == 1.2
+        assert tree.number(["coord"]) is None  # no text
+        assert tree.number(["missing"]) is None
+
+    def test_number_non_numeric(self):
+        assert element("r", element("x", text="abc")).number(["x"]) is None
+
+    def test_iter_preorder(self, tree):
+        tags = [node.tag for node in tree.iter()]
+        assert tags == ["photon", "coord", "cel", "ra", "dec", "en"]
+
+
+class TestSizeAccounting:
+    def test_empty_element(self):
+        assert Element("ab").serialized_size() == len("<ab/>")
+
+    def test_text_element(self):
+        node = Element("en", text="1.5")
+        assert node.serialized_size() == len("<en>1.5</en>")
+
+    def test_escaped_text_counted(self):
+        node = Element("t", text="a<b&c")
+        assert node.serialized_size() == len("<t>a&lt;b&amp;c</t>")
+
+    def test_matches_serializer(self, photon_sample):
+        for item in photon_sample[:50]:
+            assert item.serialized_size() == len(serialize(item).encode("utf-8"))
+
+    def test_unicode_counted_in_bytes(self):
+        node = Element("t", text="π")
+        assert node.serialized_size() == len("<t>π</t>".encode("utf-8"))
+
+
+class TestValueSemantics:
+    def test_equality(self):
+        a = element("x", element("y", text=1))
+        b = element("x", element("y", text=1))
+        assert a == b and hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert element("x") != element("y")
+        assert element("x", element("y")) != element("x")
+        assert Element("x", text="1") != Element("x", text="2")
+
+    def test_copy_is_deep(self):
+        original = element("x", element("y", text=1))
+        clone = original.copy()
+        assert clone == original
+        clone.children[0].children.append(Element("z"))
+        assert clone != original
+
+    def test_repr_forms(self):
+        assert "text" in repr(Element("x", text="1"))
+        assert "children" in repr(element("x", element("y")))
+        assert repr(Element("x")) == "Element('x')"

@@ -1,0 +1,100 @@
+"""Unit tests for restricted element paths."""
+
+import pytest
+
+from repro.xmlkit import EMPTY_PATH, Path, XmlPathError, element, parse_path
+
+
+class TestParsing:
+    def test_single_step(self):
+        assert Path("en").steps == ("en",)
+
+    def test_multi_step(self):
+        assert Path("coord/cel/ra").steps == ("coord", "cel", "ra")
+
+    def test_from_sequence(self):
+        assert Path(("a", "b")).steps == ("a", "b")
+
+    def test_empty(self):
+        assert parse_path("") == EMPTY_PATH
+        assert EMPTY_PATH.is_empty()
+
+    @pytest.mark.parametrize(
+        "bad", ["/abs", "trail/", "a//b", "a/*/b", "a[b]/c", "a b", ""]
+    )
+    def test_invalid_rejected(self, bad):
+        if bad == "":
+            return  # empty is legal (the empty path)
+        with pytest.raises(XmlPathError):
+            Path(bad)
+
+
+class TestAlgebra:
+    def test_concat(self):
+        assert Path("a") / "b/c" == Path("a/b/c")
+        assert Path("a") / Path("b") == Path("a/b")
+
+    def test_starts_with(self):
+        assert Path("a/b/c").starts_with(Path("a/b"))
+        assert Path("a/b").starts_with(Path("a/b"))
+        assert not Path("a/b").starts_with(Path("a/b/c"))
+        assert not Path("x/b").starts_with(Path("a"))
+
+    def test_relative_to(self):
+        assert Path("a/b/c").relative_to(Path("a")) == Path("b/c")
+        with pytest.raises(XmlPathError):
+            Path("a/b").relative_to(Path("x"))
+
+    def test_leaf_and_parent(self):
+        assert Path("a/b/c").leaf == "c"
+        assert Path("a/b/c").parent == Path("a/b")
+        with pytest.raises(XmlPathError):
+            _ = EMPTY_PATH.leaf
+        with pytest.raises(XmlPathError):
+            _ = EMPTY_PATH.parent
+
+    def test_immutability(self):
+        path = Path("a/b")
+        with pytest.raises(AttributeError):
+            path.steps = ("x",)
+
+
+class TestEvaluation:
+    @pytest.fixture()
+    def tree(self):
+        return element(
+            "photon",
+            element("coord", element("cel", element("ra", text=130.0))),
+            element("en", text=1.5),
+        )
+
+    def test_first(self, tree):
+        assert Path("coord/cel/ra").first(tree).text == "130.0"
+        assert Path("coord/det").first(tree) is None
+
+    def test_number(self, tree):
+        assert Path("en").number(tree) == 1.5
+
+    def test_all(self, tree):
+        assert len(Path("coord/cel").all(tree)) == 1
+
+    def test_empty_path_resolves_to_root(self, tree):
+        assert EMPTY_PATH.first(tree) is tree
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        assert Path("a/b") == Path(("a", "b"))
+        assert hash(Path("a/b")) == hash(Path("a/b"))
+        assert Path("a") != Path("b")
+
+    def test_ordering(self):
+        assert Path("a/b") < Path("a/c")
+
+    def test_str_and_repr(self):
+        assert str(Path("a/b")) == "a/b"
+        assert repr(Path("a/b")) == "Path('a/b')"
+
+    def test_len_and_iter(self):
+        assert len(Path("a/b/c")) == 3
+        assert list(Path("a/b")) == ["a", "b"]

@@ -1,0 +1,49 @@
+"""Unit tests for the serializers (compact and pretty forms)."""
+
+from repro.xmlkit import Element, element, parse, pretty, serialize
+
+
+class TestCompactSerializer:
+    def test_empty_element(self):
+        assert serialize(Element("a")) == "<a/>"
+
+    def test_text_element(self):
+        assert serialize(Element("a", text="hi")) == "<a>hi</a>"
+
+    def test_nested(self):
+        tree = element("a", Element("b"), Element("c", text="1"))
+        assert serialize(tree) == "<a><b/><c>1</c></a>"
+
+    def test_escaping(self):
+        assert serialize(Element("a", text="x<y&z>w")) == "<a>x&lt;y&amp;z&gt;w</a>"
+
+    def test_roundtrip_with_escapes(self):
+        original = Element("a", text="1 < 2 & 3 > 2")
+        assert parse(serialize(original)) == original
+
+
+class TestPrettySerializer:
+    def test_empty_element(self):
+        assert pretty(Element("a")) == "<a/>"
+
+    def test_text_inline(self):
+        assert pretty(Element("a", text="1")) == "<a>1</a>"
+
+    def test_indentation(self):
+        tree = element("a", element("b", Element("c", text="1")))
+        assert pretty(tree) == "<a>\n  <b>\n    <c>1</c>\n  </b>\n</a>"
+
+    def test_custom_indent(self):
+        tree = element("a", Element("b"))
+        assert pretty(tree, indent="    ") == "<a>\n    <b/>\n</a>"
+
+    def test_escaping_in_pretty(self):
+        assert pretty(Element("a", text="<")) == "<a>&lt;</a>"
+
+    def test_pretty_parses_back(self):
+        tree = element(
+            "photon",
+            element("coord", element("cel", Element("ra", text="1.5"))),
+            Element("en", text="0.8"),
+        )
+        assert parse(pretty(tree)) == tree

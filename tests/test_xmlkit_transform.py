@@ -1,0 +1,60 @@
+"""Unit tests for tree pruning (projection at the data level)."""
+
+from repro.xmlkit import Element, Path, element, prune_to_paths
+
+
+def photon():
+    return element(
+        "photon",
+        element("phc", text=100),
+        element(
+            "coord",
+            element("cel", element("ra", text=130.0), element("dec", text=-45.0)),
+            element("det", element("dx", text=1), element("dy", text=2)),
+        ),
+        element("en", text=1.5),
+        element("det_time", text=10.0),
+    )
+
+
+class TestPruneToPaths:
+    def test_keep_leaf(self):
+        pruned = prune_to_paths(photon(), [Path("en")])
+        assert pruned == element("photon", element("en", text=1.5))
+
+    def test_keep_nested_leaf_keeps_ancestors(self):
+        pruned = prune_to_paths(photon(), [Path("coord/cel/ra")])
+        assert pruned == element(
+            "photon", element("coord", element("cel", element("ra", text=130.0)))
+        )
+
+    def test_keep_subtree_keeps_descendants(self):
+        pruned = prune_to_paths(photon(), [Path("coord/cel")])
+        cel = pruned.find(["coord", "cel"])
+        assert [c.tag for c in cel.children] == ["ra", "dec"]
+
+    def test_multiple_paths(self):
+        pruned = prune_to_paths(photon(), [Path("en"), Path("det_time")])
+        assert [c.tag for c in pruned.children] == ["en", "det_time"]
+
+    def test_document_order_preserved(self):
+        pruned = prune_to_paths(photon(), [Path("det_time"), Path("phc")])
+        assert [c.tag for c in pruned.children] == ["phc", "det_time"]
+
+    def test_nothing_retained(self):
+        assert prune_to_paths(photon(), [Path("missing")]) is None
+
+    def test_empty_path_keeps_everything(self):
+        assert prune_to_paths(photon(), [Path(())]) == photon()
+
+    def test_result_is_a_copy(self):
+        original = photon()
+        pruned = prune_to_paths(original, [Path("en")])
+        pruned.child("en").children.append(Element("x"))
+        assert original.child("en").children == []
+
+    def test_sibling_subtrees_not_merged(self):
+        pruned = prune_to_paths(photon(), [Path("coord/det/dx")])
+        det = pruned.find(["coord", "det"])
+        assert [c.tag for c in det.children] == ["dx"]
+        assert pruned.find(["coord", "cel"]) is None
