@@ -27,21 +27,34 @@ def write_result(name: str, content: str) -> None:
         handle.write(content + "\n")
 
 
+def _verified_runs(scenario):
+    """Run a scenario under all strategies, statically verifying each
+    deployment (full size — the tier-1 suite covers reduced sizes)."""
+    from repro.analysis import verify_system
+    from repro.bench import run_scenario
+
+    runs = {}
+    for strategy in STRATEGIES:
+        run = run_scenario(scenario, strategy)
+        report = verify_system(
+            run.system, title=f"{scenario.name} / {strategy}"
+        )
+        assert report.ok, report.render()
+        runs[strategy] = run
+    return runs
+
+
 @pytest.fixture(scope="session")
 def scenario1_runs():
     """Scenario 1 executed under all three strategies (Figure 6)."""
-    from repro.bench import run_scenario
     from repro.workload.scenarios import scenario_one
 
-    scenario = scenario_one()
-    return {strategy: run_scenario(scenario, strategy) for strategy in STRATEGIES}
+    return _verified_runs(scenario_one())
 
 
 @pytest.fixture(scope="session")
 def scenario2_runs():
     """Scenario 2 executed under all three strategies (Figure 7)."""
-    from repro.bench import run_scenario
     from repro.workload.scenarios import scenario_two
 
-    scenario = scenario_two()
-    return {strategy: run_scenario(scenario, strategy) for strategy in STRATEGIES}
+    return _verified_runs(scenario_two())

@@ -1,0 +1,35 @@
+"""Static analysis gates for the stream-sharing engine.
+
+Two independent passes share one diagnostics vocabulary:
+
+* the **plan verifier** (:func:`verify_deployment`) checks a deployed
+  stream network against the invariants the registration algorithms
+  rely on — route shape, derivation validity, delivery, usage-ledger
+  consistency, and operator-chain typing;
+* the **linter** (:func:`lint_paths`) is a small ``ast``-based pass for
+  the repro-specific source rules generic linters miss.
+
+Both are wired into ``python -m repro.analysis`` (CI gate) and, via
+``StreamGlobe(verify=True)``, into a pre-flight hook that raises
+:class:`InvariantViolation` on any error.
+"""
+
+from .diagnostics import AnalysisReport, Diagnostic, InvariantViolation
+from .linter import lint_paths, lint_source
+from .plan_verifier import verify_deployment
+from .preflight import build_verified_system, verify_system
+from .typecheck import SchemaView, check_content, check_pipeline
+
+__all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "InvariantViolation",
+    "SchemaView",
+    "build_verified_system",
+    "check_content",
+    "check_pipeline",
+    "lint_paths",
+    "lint_source",
+    "verify_deployment",
+    "verify_system",
+]

@@ -1,0 +1,128 @@
+"""Command-line entry point for the static analysis gates.
+
+Usage::
+
+    python -m repro.analysis                       # both passes
+    python -m repro.analysis --code src/repro      # lint only
+    python -m repro.analysis --plan                # verify all scenarios
+    python -m repro.analysis --plan --scenario 1 --strategy sharing
+
+``--code`` lints the given files/directories (default ``src/repro``)
+with the repro-specific :mod:`~repro.analysis.linter`.  ``--plan``
+builds the paper's benchmark scenarios, registers their workload
+(without pumping items) and runs the
+:func:`~repro.analysis.plan_verifier.verify_deployment` invariants over
+the resulting deployments.  Exit status is 0 iff every requested pass
+is free of error-severity diagnostics, which is what CI keys on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from .diagnostics import AnalysisReport
+from .linter import lint_paths
+from .plan_verifier import verify_deployment
+
+__all__ = ["main"]
+
+_SCENARIOS = ("1", "2", "grid")
+_DEFAULT_CODE_PATHS = (os.path.join("src", "repro"),)
+
+
+def _plan_reports(
+    scenarios: Sequence[str], strategies: Optional[Sequence[str]]
+) -> List[AnalysisReport]:
+    # Imported lazily: --code must work even if the engine side is broken.
+    from ..sharing.strategies import STRATEGIES
+    from ..workload.scenarios import scenario_grid, scenario_one, scenario_two
+    from .preflight import build_verified_system
+
+    builders = {
+        "1": scenario_one,
+        "2": scenario_two,
+        "grid": lambda: scenario_grid(rows=3, cols=3, query_count=24),
+    }
+    reports = []
+    for key in scenarios:
+        scenario = builders[key]()
+        for strategy in strategies or list(STRATEGIES):
+            title = f"plan verification: scenario {key}, strategy {strategy!r}"
+            reports.append(build_verified_system(scenario, strategy, title=title))
+    return reports
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static plan verifier and repro-specific source linter.",
+    )
+    parser.add_argument(
+        "--code",
+        nargs="*",
+        metavar="PATH",
+        default=None,
+        help="lint the given files/directories (default: src/repro)",
+    )
+    parser.add_argument(
+        "--plan",
+        action="store_true",
+        help="register the benchmark scenarios and verify their deployments",
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=_SCENARIOS,
+        action="append",
+        help="restrict --plan to one scenario (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--strategy",
+        action="append",
+        help="restrict --plan to one sharing strategy (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only failing reports",
+    )
+    args = parser.parse_args(argv)
+
+    run_code = args.code is not None
+    run_plan = args.plan
+    if not run_code and not run_plan:
+        run_code = run_plan = True  # no flags: run the full gate
+
+    reports: List[AnalysisReport] = []
+    if run_code:
+        paths = args.code if args.code else list(_DEFAULT_CODE_PATHS)
+        missing = [p for p in paths if not os.path.exists(p)]
+        if missing:
+            parser.error(f"no such file or directory: {', '.join(missing)}")
+        reports.append(lint_paths(paths, title=f"code lint: {', '.join(paths)}"))
+    if run_plan:
+        from ..sharing.strategies import STRATEGIES
+
+        unknown = [s for s in args.strategy or [] if s not in STRATEGIES]
+        if unknown:
+            parser.error(
+                f"unknown strategy {', '.join(unknown)}; "
+                f"pick from {', '.join(STRATEGIES)}"
+            )
+        reports.extend(_plan_reports(args.scenario or _SCENARIOS, args.strategy))
+
+    failed = False
+    for report in reports:
+        if not report.ok:
+            failed = True
+        if not report.ok or not args.quiet:
+            print(report.render())
+            print()
+    print("FAIL" if failed else "OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Glue between the verifier and a live :class:`StreamGlobe` instance.
+
+Two entry points:
+
+* :func:`verify_system` — verify an existing system's deployment against
+  its own statistics catalog (this is what the ``verify=True`` pre-flight
+  hook and the benchmark fixtures call);
+* :func:`build_verified_system` — build a scenario's system, register
+  its full workload *without executing it*, and return the verification
+  report (this is what ``python -m repro.analysis --plan`` runs).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .diagnostics import AnalysisReport
+from .plan_verifier import verify_deployment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sharing.system import StreamGlobe
+    from ..workload.scenarios import Scenario
+
+__all__ = ["verify_system", "build_verified_system"]
+
+
+def verify_system(
+    system: "StreamGlobe", title: str = "deployment verification"
+) -> AnalysisReport:
+    """Verify a system's current deployment against its own catalog."""
+    return verify_deployment(system.deployment, catalog=system.catalog, title=title)
+
+
+def build_verified_system(
+    scenario: "Scenario", strategy: str, title: str = "plan verification"
+) -> AnalysisReport:
+    """Register ``scenario`` under ``strategy`` and verify the deployment."""
+    from ..sharing.system import StreamGlobe
+
+    system = StreamGlobe(scenario.build_network(), strategy=strategy)
+    for source in scenario.sources:
+        system.register_stream(
+            source.name,
+            "photons/photon",
+            source.generator_factory(),
+            frequency=source.frequency,
+            source_peer=source.source_peer,
+        )
+    for spec in scenario.queries:
+        system.register_query(spec.name, spec.text, spec.subscriber_peer)
+    return verify_system(system, title=title)

@@ -9,6 +9,7 @@ figures and tables report.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -110,7 +111,7 @@ def run_scenario(
     registration-only experiments like Table 1 and the rejection study).
     """
     net = scenario.build_network()
-    if capacity_factor != 1.0 or link_bandwidth is not None:
+    if not math.isclose(capacity_factor, 1.0) or link_bandwidth is not None:
         net = scale_network(net, capacity_factor, link_bandwidth)
 
     system = StreamGlobe(

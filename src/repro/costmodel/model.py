@@ -16,10 +16,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..network.topology import Link, Network
-from ..predicates import ZERO, PredicateGraph
+from ..predicates import ZERO
 from ..properties import (
     AggregationSpec,
     StreamProperties,

@@ -45,6 +45,10 @@ class PathStatistics:
     minimum: Optional[float] = None
     maximum: Optional[float] = None
     avg_increment: Optional[float] = None
+    #: ``True`` when the sampled values never decreased item-to-item —
+    #: the static qualification for a time-based window's reference
+    #: element (streams must be sorted by it, Section 2).
+    nondecreasing: Optional[bool] = None
     #: Equi-width histogram over ``[minimum, maximum]`` — captures the
     #: value skew (hot spots) the uniform model misses.
     histogram: Optional[List[int]] = None
@@ -154,6 +158,7 @@ class StreamStatistics:
                 if len(values) > 1:
                     increments = [b - a for a, b in zip(values, values[1:])]
                     entry.avg_increment = sum(increments) / len(increments)
+                    entry.nondecreasing = all(step >= 0 for step in increments)
                 entry.histogram = _build_histogram(
                     values, entry.minimum, entry.maximum
                 )
@@ -181,6 +186,11 @@ class StreamStatistics:
     def avg_increment(self, path: Path) -> Optional[float]:
         entry = self.paths.get(path)
         return None if entry is None else entry.avg_increment
+
+    def is_nondecreasing(self, path: Path) -> Optional[bool]:
+        """Whether the sampled values of ``path`` never decreased."""
+        entry = self.paths.get(path)
+        return None if entry is None else entry.nondecreasing
 
     # ------------------------------------------------------------------
     # Derived estimates

@@ -21,7 +21,7 @@ administratively deployed operators.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List
 
 from ..properties import UdfSpec
 from ..xmlkit import Element

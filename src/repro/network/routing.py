@@ -11,7 +11,7 @@ reproducible.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from .topology import Link, Network, TopologyError
 

@@ -8,7 +8,7 @@ the projection element sets, and record window/aggregation conditions.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from ..predicates import (
     NormalizedAtom,

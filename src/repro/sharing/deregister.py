@@ -21,7 +21,7 @@ remaining queries would have committed (covered by tests).
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import List, Set
 
 from ..costmodel import PlanEffects, base_load, estimate_stream_rate
 from .plan import Deployment, InstalledStream
@@ -94,8 +94,12 @@ class Deregistrar:
             ]
             if not dead:
                 return removed
+            # Release every dead stream before deleting any: releasing a
+            # derived stream needs its parent's rate, and the parent may
+            # itself be dead in the same sweep.
             for stream in dead:
                 self._release_stream(deployment, stream, release)
+            for stream in dead:
                 removed.append(stream.stream_id)
                 del deployment.streams[stream.stream_id]
                 for node in stream.route:

@@ -14,7 +14,6 @@ differs only in the decisions, not the bookkeeping.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..properties import Properties
 from ..wxquery import AnalyzedQuery

@@ -60,8 +60,10 @@ class StreamGlobe:
         share_aggregates: bool = True,
         enable_widening: bool = False,
         latency_model: Optional[LatencyModel] = None,
+        verify: bool = False,
     ) -> None:
         self.net = net
+        self.verify = verify
         self.catalog = StatisticsCatalog()
         self.cost_model = CostModel(net, gamma=gamma)
         self.planner = Planner(net, self.catalog, self.cost_model, latency_model)
@@ -168,7 +170,69 @@ class StreamGlobe:
             pipeline=tuple(pipeline),
         )
         self.deployment.install_stream(stream)
+        self._commit_installed_effects(stream)
+        self._preflight(f"after installing derived stream {stream_id!r}")
         return stream
+
+    def _commit_installed_effects(self, stream: InstalledStream) -> None:
+        """Commit a hand-installed stream's estimated resource usage.
+
+        Query registration commits effects through the planner; streams
+        installed directly (user-defined operators) must account for the
+        same traffic and work, or the ``a_b``/``a_l`` bookkeeping — and
+        with it every later placement decision — drifts from reality.
+        Mirrors :meth:`Deregistrar._release_stream` so deregistration
+        returns the ledger to zero.
+        """
+        from ..costmodel import PlanEffects, base_load, estimate_stream_rate
+
+        effects = PlanEffects()
+        rate = estimate_stream_rate(stream.content, self.catalog)
+
+        def charge(node: str, kind: str, frequency: float) -> None:
+            peer = self.net.super_peer(node)
+            effects.add_peer(node, base_load(kind) * peer.pindex * frequency)
+
+        for a, b in stream.links():
+            effects.add_link(self.net.link(a, b), rate.bits_per_second)
+        for sender in stream.route[:-1]:
+            charge(sender, "transfer", rate.frequency)
+
+        parent = (
+            self.deployment.streams.get(stream.parent_id)
+            if stream.parent_id is not None
+            else None
+        )
+        if parent is not None:
+            parent_rate = estimate_stream_rate(parent.content, self.catalog)
+            charge(stream.origin_node, "duplicate", parent_rate.frequency)
+            frequency = parent_rate.frequency
+            for spec in stream.pipeline:
+                charge(stream.origin_node, spec.kind, frequency)
+                frequency = self.planner._stage_output_frequency(
+                    spec, stream.content, frequency, rate.frequency
+                )
+        self.deployment.commit_effects(effects)
+
+    # ------------------------------------------------------------------
+    # Static verification
+    # ------------------------------------------------------------------
+    def _preflight(self, context: str) -> None:
+        """Verify the deployment's invariants when ``verify=True``.
+
+        Raises :class:`~repro.analysis.InvariantViolation` carrying the
+        full report if any invariant is broken.
+        """
+        if not self.verify:
+            return
+        # Imported lazily: repro.analysis depends on repro.sharing.plan.
+        from ..analysis import InvariantViolation, verify_deployment
+
+        report = verify_deployment(
+            self.deployment, catalog=self.catalog, title=f"pre-flight {context}"
+        )
+        if not report.ok:
+            raise InvariantViolation(context, report)
 
     def find_shareable_streams(self, needed: StreamProperties):
         """All installed streams whose content can answer ``needed``."""
@@ -202,6 +266,7 @@ class StreamGlobe:
             self.deployment, properties, analyzed, subscriber_node
         )
         self.results.append(result)
+        self._preflight(f"after registering query {name!r}")
         return result
 
     def deregister_query(self, name: str) -> List[str]:
@@ -226,6 +291,7 @@ class StreamGlobe:
         Every call replays the sources from fresh, identically seeded
         generators, so repeated runs are bit-for-bit reproducible.
         """
+        self._preflight("before execution")
         generators = {
             name: source.generator_factory() for name, source in self.sources.items()
         }

@@ -15,11 +15,11 @@ them per strategy and executes them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Tuple
+from typing import Callable, List
 
 from ..network.topology import Network, example_topology, grid_topology
 from .photons import HotSpot, PhotonGenerator, PhotonStreamConfig, SkyRegion
-from .templates import GeneratedQuery, QueryTemplateGenerator
+from .templates import QueryTemplateGenerator
 
 
 @dataclass(frozen=True)

@@ -14,7 +14,7 @@ properties extraction (:mod:`repro.properties.extract`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple, Union
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..xmlkit import Path
 from .ast import (

@@ -213,7 +213,7 @@ class _Parser:
         return path, Condition(tuple(collected)) if collected else None
 
     def _parse_window(self) -> WindowClause:
-        self._expect("PIPE", "'|'")
+        opening = self._expect("PIPE", "'|'")
         if self._at_keyword("count"):
             self._advance()
             kind = "count"
@@ -228,7 +228,12 @@ class _Parser:
             self._advance()
             step = self._parse_number("a step size")
         self._expect("PIPE", "closing '|' of the window")
-        return WindowClause(kind, size, step, reference)
+        try:
+            return WindowClause(kind, size, step, reference)
+        except ValueError as exc:
+            # The AST constructor validates size/step positivity; surface
+            # it as a parse diagnostic at the window, not a bare ValueError.
+            raise self._error(str(exc), opening) from exc
 
     def _parse_let_clause(self) -> LetClause:
         var = self._expect("VARIABLE", "a variable after 'let'").value

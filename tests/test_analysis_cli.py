@@ -1,0 +1,49 @@
+"""``python -m repro.analysis`` exit codes and output — the CI contract."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.cli import main
+
+
+def test_code_pass_exits_zero_on_clean_tree(capsys):
+    assert main(["--code", "src/repro"]) == 0
+    out = capsys.readouterr().out
+    assert "code lint" in out
+    assert out.strip().endswith("OK")
+
+
+def test_code_pass_exits_nonzero_on_seeded_violation(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        textwrap.dedent(
+            """
+            def f(items=[]):
+                try:
+                    return items == 1.0
+                except:
+                    pass
+            """
+        )
+    )
+    assert main(["--code", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "L301" in out and "L302" in out and "L303" in out
+    assert f"{bad}:" in out  # pointed diagnostics carry file:line:col
+    assert out.strip().endswith("FAIL")
+
+
+def test_plan_pass_verifies_scenario_one(capsys):
+    code = main(["--plan", "--scenario", "1", "--strategy", "stream-sharing"])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "scenario 1" in out
+    assert "clean: no violations found" in out
+
+
+def test_quiet_suppresses_passing_reports(capsys):
+    assert main(["--code", "src/repro", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "code lint" not in out
+    assert out.strip() == "OK"

@@ -1,0 +1,168 @@
+"""Linter rules: each fires on a seeded snippet and stays quiet on src/repro."""
+
+from __future__ import annotations
+
+import os
+import textwrap
+
+from repro.analysis import lint_paths, lint_source
+
+
+def codes(source: str):
+    return [d.code for d in lint_source(textwrap.dedent(source))]
+
+
+# ----------------------------------------------------------------------
+# L301 — mutable default arguments
+# ----------------------------------------------------------------------
+def test_mutable_default_list_fires():
+    assert codes("def f(items=[]):\n    return items\n") == ["L301"]
+
+
+def test_mutable_default_constructor_fires():
+    assert codes("def f(seen=set(), *, index=dict()):\n    return seen\n") == [
+        "L301",
+        "L301",
+    ]
+
+
+def test_immutable_defaults_are_fine():
+    assert codes("def f(a=(), b=None, c=1.5, d=frozenset()):\n    return a\n") == []
+
+
+# ----------------------------------------------------------------------
+# L302 — float literal equality
+# ----------------------------------------------------------------------
+def test_float_literal_equality_fires():
+    assert codes("ok = cost == 1.0\n") == ["L302"]
+    assert codes("ok = 0.5 != gamma\n") == ["L302"]
+    assert codes("ok = x == -1.0\n") == ["L302"]
+
+
+def test_float_ordering_and_int_equality_are_fine():
+    assert codes("ok = cost >= 1.0\n") == []
+    assert codes("ok = count == 1\n") == []
+    assert codes("ok = a == b\n") == []  # variables: intent unknown
+
+
+# ----------------------------------------------------------------------
+# L303 / L305 — exception handling
+# ----------------------------------------------------------------------
+def test_bare_except_fires():
+    source = """
+    try:
+        work()
+    except:
+        pass
+    """
+    assert codes(source) == ["L303"]
+
+
+def test_silent_broad_except_fires():
+    source = """
+    try:
+        work()
+    except Exception:
+        pass
+    """
+    assert codes(source) == ["L305"]
+
+
+def test_handled_broad_except_is_fine():
+    source = """
+    try:
+        work()
+    except Exception as exc:
+        log(exc)
+    """
+    assert codes(source) == []
+
+
+def test_silent_narrow_except_is_fine():
+    source = """
+    try:
+        work()
+    except ValueError:
+        pass
+    """
+    assert codes(source) == []
+
+
+# ----------------------------------------------------------------------
+# L304 — frozen dataclass mutation
+# ----------------------------------------------------------------------
+def test_setattr_outside_construction_fires():
+    source = """
+    def widen(stream, route):
+        object.__setattr__(stream, "route", route)
+    """
+    assert codes(source) == ["L304"]
+
+
+def test_setattr_in_post_init_is_fine():
+    source = """
+    class InstalledStream:
+        def __post_init__(self):
+            object.__setattr__(self, "route", tuple(self.route))
+    """
+    assert codes(source) == []
+
+
+# ----------------------------------------------------------------------
+# L306 — stateful operators
+# ----------------------------------------------------------------------
+def test_operator_rebinding_global_fires():
+    source = """
+    class Selection:
+        def process(self, item):
+            global COUNT
+            COUNT += 1
+    """
+    assert codes(source) == ["L306"]
+
+
+def test_operator_writing_class_attribute_fires():
+    source = """
+    class Window:
+        buffer = []
+        def flush(self):
+            Window.buffer = []
+    """
+    assert codes(source) == ["L306"]
+    source = """
+    class Window:
+        def process(self, item):
+            self.__class__.count += 1
+    """
+    assert codes(source) == ["L306"]
+
+
+def test_operator_instance_state_is_fine():
+    source = """
+    class Window:
+        def process(self, item):
+            self.buffer.append(item)
+            self.count += 1
+    """
+    assert codes(source) == []
+
+
+def test_module_level_process_function_is_fine():
+    assert codes("def process(item):\n    queue = []\n    queue.append(item)\n") == []
+
+
+# ----------------------------------------------------------------------
+# The whole tree is clean
+# ----------------------------------------------------------------------
+def test_src_repro_is_lint_clean():
+    root = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+    report = lint_paths([root])
+    assert report.ok, report.render()
+
+
+def test_syntax_error_becomes_diagnostic(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    report = lint_paths([str(tmp_path)])
+    assert report.codes() == ("L300",)
+    assert not report.ok

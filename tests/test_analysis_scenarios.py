@@ -1,0 +1,32 @@
+"""Every benchmark scenario's deployment passes the plan verifier.
+
+Registration-only (no execution) and with reduced query counts so the
+tier-1 suite stays fast; the full-size gate runs in the benchmark
+suite's fixtures and in ``python -m repro.analysis --plan``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import build_verified_system
+from repro.sharing.strategies import STRATEGIES
+from repro.workload.scenarios import scenario_grid, scenario_one, scenario_two
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_scenario_one_verifies_clean(strategy):
+    report = build_verified_system(scenario_one(query_count=10), strategy)
+    assert report.ok, report.render()
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_scenario_two_verifies_clean(strategy):
+    report = build_verified_system(scenario_two(query_count=16), strategy)
+    assert report.ok, report.render()
+
+
+def test_grid_scenario_verifies_clean():
+    scenario = scenario_grid(rows=3, cols=3, query_count=12)
+    report = build_verified_system(scenario, "stream-sharing")
+    assert report.ok, report.render()

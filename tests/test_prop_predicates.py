@@ -74,7 +74,7 @@ def satisfied_by(graph, assignment):
     return True
 
 
-def brute_force_satisfiable(graph, domain=range(-12, 13)):
+def brute_force_satisfiable(graph, domain=range(-15, 16)):
     names = [n for n in graph.nodes if n != ZERO]
     for combo in product(domain, repeat=len(names)):
         if satisfied_by(graph, zip(names, combo)):
@@ -87,9 +87,9 @@ class TestSatisfiability:
     @settings(max_examples=150, deadline=None)
     def test_agrees_with_brute_force(self, graph):
         assume(len(graph.nodes) <= 4)
-        # Integer witnesses in [-12, 12] exist whenever constants are
-        # in [-5, 5], at most three atoms chain (|value| <= 10), and all
-        # constraints are non-strict.
+        # Integer witnesses in [-15, 15] exist whenever constants are
+        # in [-5, 5], at most three atoms chain (|value| <= 3*5), and
+        # all constraints are non-strict.
         assert graph.is_satisfiable() == brute_force_satisfiable(graph)
 
     @given(graphs(max_atoms=3))
