@@ -1,0 +1,205 @@
+"""Executor micro-benchmark: throughput and peak-memory comparison.
+
+Measures the streaming :class:`~repro.engine.executor.StreamSimulator`
+against the materializing oracle on the built-in scenarios and writes a
+JSON report (``BENCH_PR2.json`` at the repo root by default).  Each
+scenario is also run at half duration to demonstrate that the streaming
+executor's peak in-flight item count is bounded independently of run
+duration (while the materializing executor's grows linearly).
+
+Usage::
+
+    python -m repro.bench.micro                    # all scenarios
+    python -m repro.bench.micro --scenario smoke   # CI smoke run
+    python -m repro.bench.micro --check BENCH_PR2.json
+        # regression gate: fail if streaming items/s drops more than
+        # --tolerance (default 30%) below the committed baseline
+
+The ``pre_pr`` block embeds the throughput of the executor *before*
+this optimization round (measured on the same scenarios from the seed
+revision), so the report directly documents the speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from ..engine.executor import MaterializingSimulator, StreamSimulator
+from ..workload.scenarios import Scenario, scenario_one, scenario_two
+from .harness import run_scenario
+
+#: Throughput of the seed (pre-PR) executor on this benchmark's
+#: scenarios, measured before the streaming rewrite.  Committed so the
+#: report documents the speedup against a fixed reference point.
+PRE_PR_BASELINE: Dict[str, Dict[str, float]] = {
+    "fig7": {"wall_s": 6.3477, "items": 10795, "items_per_s": 1700.6},
+    "smoke": {"wall_s": 0.207, "items": 1001, "items_per_s": 4836.1},
+}
+
+
+def _smoke_scenario() -> Scenario:
+    scenario = scenario_one(query_count=10)
+    scenario.duration = 10.0
+    return scenario
+
+
+SCENARIOS: Dict[str, Callable[[], Scenario]] = {
+    "smoke": _smoke_scenario,
+    "fig7": scenario_two,
+}
+
+
+def _measure(
+    simulator_cls, system, duration: float, repeats: int
+) -> Dict[str, float]:
+    """Best-of-``repeats`` execution of one executor on one deployment."""
+    best: Optional[Dict[str, float]] = None
+    for _ in range(repeats):
+        generators = {
+            name: source.generator_factory()
+            for name, source in system.sources.items()
+        }
+        simulator = simulator_cls(system.net, system.deployment, generators, duration)
+        # Collect leftovers of previous runs, then keep the collector out
+        # of the timed region — generational GC passes triggered by a
+        # *previous* executor's garbage would otherwise skew the sample.
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            metrics = simulator.run()
+            wall = time.perf_counter() - start
+        finally:
+            gc.enable()
+        items = sum(metrics.items_generated.values())
+        sample = {
+            "wall_s": round(wall, 4),
+            "items": items,
+            "items_per_s": round(items / wall, 1),
+            "mbit": round(metrics.total_mbit(), 4),
+            "peak_live_items": simulator.peak_live_items,
+        }
+        if best is None or sample["wall_s"] < best["wall_s"]:
+            best = sample
+    assert best is not None
+    return best
+
+
+def run_benchmark(names: List[str], repeats: int = 3) -> Dict[str, Any]:
+    report: Dict[str, Any] = {
+        "benchmark": "repro.bench.micro",
+        "pre_pr": PRE_PR_BASELINE,
+        "scenarios": {},
+    }
+    for name in names:
+        scenario = SCENARIOS[name]()
+        system = run_scenario(scenario, "stream-sharing", execute=False).system
+        streaming = _measure(StreamSimulator, system, scenario.duration, repeats)
+        materializing = _measure(
+            MaterializingSimulator, system, scenario.duration, repeats
+        )
+        # Half-duration run: streaming peak must not scale with duration.
+        half = _measure(StreamSimulator, system, scenario.duration / 2, 1)
+        entry: Dict[str, Any] = {
+            "duration": scenario.duration,
+            "streaming": streaming,
+            "materializing": materializing,
+            "streaming_half_duration_peak": half["peak_live_items"],
+        }
+        pre = PRE_PR_BASELINE.get(name)
+        if pre:
+            entry["speedup_vs_pre_pr"] = round(
+                streaming["items_per_s"] / pre["items_per_s"], 2
+            )
+        report["scenarios"][name] = entry
+    return report
+
+
+def check_regression(
+    report: Dict[str, Any], baseline_path: str, tolerance: float
+) -> int:
+    """Compare streaming items/s against a committed baseline report.
+
+    Returns a process exit code: 1 if any common scenario regressed by
+    more than ``tolerance`` (fraction), else 0.
+    """
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures: List[str] = []
+    for name, entry in report["scenarios"].items():
+        reference = baseline.get("scenarios", {}).get(name)
+        if not reference:
+            continue
+        current = entry["streaming"]["items_per_s"]
+        committed = reference["streaming"]["items_per_s"]
+        floor = committed * (1.0 - tolerance)
+        status = "ok" if current >= floor else "REGRESSION"
+        print(
+            f"{name}: {current:.1f} items/s vs baseline {committed:.1f} "
+            f"(floor {floor:.1f}) {status}"
+        )
+        if current < floor:
+            failures.append(name)
+    if failures:
+        print(f"regressed scenarios: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.micro", description=__doc__
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=[*SCENARIOS, "all"],
+        default="all",
+        help="which scenario(s) to run (default: all)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_PR2.json", help="report output path"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (best-of)"
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare against a committed baseline report; exit 1 on "
+        "a throughput regression beyond --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional items/s regression for --check (default 0.30)",
+    )
+    options = parser.parse_args(argv)
+
+    names = list(SCENARIOS) if options.scenario == "all" else [options.scenario]
+    report = run_benchmark(names, repeats=options.repeats)
+    with open(options.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for name, entry in report["scenarios"].items():
+        streaming = entry["streaming"]
+        materializing = entry["materializing"]
+        print(
+            f"{name}: streaming {streaming['items_per_s']:.1f} items/s "
+            f"(peak {streaming['peak_live_items']} live items) | "
+            f"materializing {materializing['items_per_s']:.1f} items/s "
+            f"(peak {materializing['peak_live_items']})"
+        )
+    print(f"report written to {options.out}")
+    if options.check:
+        return check_regression(report, options.check, options.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

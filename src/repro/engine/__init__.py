@@ -13,7 +13,14 @@ from .aggregate import (
     wire_to_partial,
 )
 from .eval import item_number, rebase, satisfies
-from .executor import ExecutionError, StreamSimulator
+from .executor import (
+    ExecutionError,
+    MaterializingSimulator,
+    StreamSimulator,
+    interleave_round_robin,
+    topological_streams,
+)
+from .fanout import PrefixStage, PrefixTree, group_pipelines
 from .metrics import RunMetrics
 from .operators import EngineError, Operator, build_operator
 from .pipeline import Pipeline
@@ -31,9 +38,12 @@ from .window import (
 __all__ = [
     "EngineError",
     "ExecutionError",
+    "MaterializingSimulator",
     "Operator",
     "PartialAggregate",
     "Pipeline",
+    "PrefixStage",
+    "PrefixTree",
     "ProjectOperator",
     "ReAggregateOperator",
     "ReorderBuffer",
@@ -52,9 +62,12 @@ __all__ = [
     "WindowContentsOperator",
     "build_operator",
     "filter_accepts",
+    "group_pipelines",
+    "interleave_round_robin",
     "item_number",
     "partial_to_wire",
     "rebase",
     "satisfies",
+    "topological_streams",
     "wire_to_partial",
 ]

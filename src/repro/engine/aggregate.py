@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence
 from ..predicates import ZERO, PredicateGraph
 from ..properties import AggregationSpec, ReAggregationSpec
 from ..xmlkit import Element, Path
-from .eval import item_number
+from .eval import rebase
 from .operators import EngineError, Operator
 from .window import SlidingWindower, WindowBatch
 
@@ -189,6 +189,14 @@ class WindowAggregateOperator(Operator):
             float(spec.window.size), float(spec.window.step)
         )
         self._count = 0
+        # Rebase both navigation paths once; per-item evaluation is then
+        # pure tree walking (same values as item_number on the spec paths).
+        self._aggregated_steps = rebase(spec.aggregated_path, item_path).steps
+        self._reference_steps = (
+            None
+            if spec.window.reference is None
+            else rebase(spec.window.reference, item_path).steps
+        )
         if reorder_capacity > 0 and spec.window.kind == "diff":
             from .window import ReorderBuffer
 
@@ -202,7 +210,7 @@ class WindowAggregateOperator(Operator):
         position = self._position(item)
         if position is None:
             return []
-        value = item_number(item, self.spec.aggregated_path, self.item_path)
+        value = item.number(self._aggregated_steps)
         payload = value if value is not None else float("nan")
         if self._reorder is None:
             batches = self._windower.add(position, payload)
@@ -225,8 +233,8 @@ class WindowAggregateOperator(Operator):
             position = float(self._count)
             self._count += 1
             return position
-        assert self.spec.window.reference is not None
-        return item_number(item, self.spec.window.reference, self.item_path)
+        assert self._reference_steps is not None
+        return item.number(self._reference_steps)
 
     def _emit(self, batch: WindowBatch[float]) -> Optional[Element]:
         values = [v for v in batch.contents if v == v]  # drop NaN markers

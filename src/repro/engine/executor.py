@@ -7,18 +7,50 @@ DESIGN.md): the figures' CPU-load and network-traffic series are
 *measurements* of this simulation, while the optimizer only ever sees
 the cost model's estimates — exactly the estimate/measure split of the
 original system.
+
+Two executors are provided:
+
+* :class:`StreamSimulator` — the production executor: a single-pass,
+  generator-driven streaming engine.  Source items are pumped through
+  the deployment DAG depth-first in small batches, so peak memory is
+  O(window state + one batch) instead of O(all items × all streams);
+  items are size-frozen at ingest (relays charge bytes without
+  re-walking subtrees) and sibling pipelines with a common operator
+  prefix are evaluated once (:mod:`repro.engine.fanout`).
+* :class:`MaterializingSimulator` — the original per-stream
+  materializing executor, kept as the correctness oracle: the golden
+  equivalence test pins that both produce identical
+  :class:`~repro.engine.metrics.RunMetrics` on every built-in scenario.
+
+End-of-stream: neither executor flushes pipelines.  Subscriptions are
+continuous queries over unbounded streams; a run's ``duration`` is a
+measurement horizon, not an end-of-stream marker, so partially filled
+windows stay open exactly as they would in the live system (DESIGN.md
+§7).  :meth:`Pipeline.flush` remains available for explicit drains.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Protocol
+from collections import deque
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
 
 from ..costmodel import base_load
 from ..network.topology import Network
 from ..xmlkit import Element
 
 if TYPE_CHECKING:  # avoid a runtime cycle with repro.sharing
-    from ..sharing.plan import Deployment, InstalledStream
+    from ..sharing.plan import Deployment, InstalledStream, RegisteredQuery
+from .fanout import PrefixStage, PrefixTree, _Gauge, group_pipelines
 from .metrics import RunMetrics
 from .pipeline import Pipeline
 from .restructure import Restructurer
@@ -37,8 +69,150 @@ class ExecutionError(Exception):
     """Raised for deployments the executor cannot run."""
 
 
+# ----------------------------------------------------------------------
+# Shared machinery
+# ----------------------------------------------------------------------
+def topological_streams(deployment: "Deployment") -> List["InstalledStream"]:
+    """Parents before children (original streams first), via Kahn's
+    algorithm specialized to the single-parent stream forest: every
+    stream is enqueued exactly once, when its parent is placed — O(n)
+    instead of the former O(n²) fixpoint loop."""
+    streams = deployment.streams
+    children: Dict[str, List["InstalledStream"]] = {}
+    queue: deque = deque()
+    for stream in streams.values():
+        if stream.parent_id is None:
+            queue.append(stream)
+        else:
+            children.setdefault(stream.parent_id, []).append(stream)
+    ordered: List["InstalledStream"] = []
+    placed: set = set()
+    while queue:
+        stream = queue.popleft()
+        ordered.append(stream)
+        placed.add(stream.stream_id)
+        queue.extend(children.get(stream.stream_id, ()))
+    if len(ordered) != len(streams):
+        cycle = ", ".join(
+            s.stream_id for s in streams.values() if s.stream_id not in placed
+        )
+        raise ExecutionError(f"stream dependency cycle: {cycle}")
+    return ordered
+
+
+def interleave_round_robin(
+    per_stream: Sequence[Tuple[str, Sequence[Element]]],
+) -> Iterator[Tuple[str, Element]]:
+    """Deterministic round-robin interleave of several delivered streams.
+
+    Yields ``(input_stream, item)``: round ``r`` visits every stream
+    that still has an ``r``-th item, in the given stream order —
+    uneven-length streams simply drop out of later rounds.
+    """
+    active = [
+        (input_stream, iter(delivered)) for input_stream, delivered in per_stream
+    ]
+    while active:
+        survivors: List[Tuple[str, Iterator[Element]]] = []
+        for input_stream, iterator in active:
+            try:
+                item = next(iterator)
+            except StopIteration:
+                continue
+            survivors.append((input_stream, iterator))
+            yield input_stream, item
+        active = survivors
+
+
+# ----------------------------------------------------------------------
+# Streaming executor internals
+# ----------------------------------------------------------------------
+class _SingleDelivery:
+    """Incremental post-processing of a single-input subscription."""
+
+    __slots__ = ("record", "restructurer", "inputs", "results")
+
+    def __init__(self, record: "RegisteredQuery") -> None:
+        self.record = record
+        self.restructurer = Restructurer(record.analyzed)
+        self.inputs = 0
+        self.results = 0
+
+    def feed(self, batch: Sequence[Element]) -> None:
+        self.inputs += len(batch)
+        build = self.restructurer.build
+        for item in batch:
+            self.results += len(build(item))
+
+
+class _MultiDelivery:
+    """Buffered post-processing of a multi-input subscription.
+
+    The round-robin interleave pairs the ``r``-th items of every input,
+    which is only known once all inputs finished — so multi-input
+    subscriptions are the one place the streaming executor buffers
+    whole streams (delivered, post-compensation items only; bounded by
+    the subscription's own delivery rate, not the source rate).
+    """
+
+    __slots__ = ("record", "buffers", "gauge", "results", "total_inputs")
+
+    def __init__(self, record: "RegisteredQuery", gauge: _Gauge) -> None:
+        self.record = record
+        self.buffers: List[List[Element]] = [[] for _ in record.delivered]
+        self.gauge = gauge
+        self.results = 0
+        self.total_inputs = 0
+
+    def feed(self, index: int, batch: Sequence[Element]) -> None:
+        self.buffers[index].extend(batch)
+        self.gauge.add(len(batch))
+
+    def finish(self) -> None:
+        from .combine import LatestValueCombiner
+
+        self.total_inputs = sum(len(buffered) for buffered in self.buffers)
+        combiner = LatestValueCombiner(self.record.analyzed)
+        per_stream = [
+            (input_stream, self.buffers[index])
+            for index, (input_stream, _) in enumerate(self.record.delivered)
+        ]
+        for input_stream, item in interleave_round_robin(per_stream):
+            self.results += len(combiner.push(input_stream, item))
+        self.gauge.sub(self.total_inputs)
+
+
+class _StreamNode:
+    """Per-stream runtime state of the streaming executor."""
+
+    __slots__ = (
+        "stream",
+        "produced_count",
+        "produced_bytes",
+        "has_hops",
+        "relay_children",
+        "trie_groups",
+        "stage_path",
+        "deliveries",
+    )
+
+    def __init__(self, stream: "InstalledStream") -> None:
+        self.stream = stream
+        self.produced_count = 0
+        self.produced_bytes = 0
+        self.has_hops = len(stream.route) > 1
+        #: Children with an empty pipeline: they forward items verbatim.
+        self.relay_children: List["_StreamNode"] = []
+        #: Non-relay children merged into shared-prefix tries.
+        self.trie_groups: List[Tuple[object, PrefixTree, dict]] = []
+        #: This stream's own stage path inside its parent's trie.
+        self.stage_path: List[PrefixStage] = []
+        #: Subscription consumers fed with this stream's items.
+        self.deliveries: List[Callable[[Sequence[Element]], None]] = []
+
+
 class StreamSimulator:
-    """Execute a deployment for a span of virtual time.
+    """Execute a deployment for a span of virtual time (single pass).
 
     Parameters
     ----------
@@ -52,6 +226,256 @@ class StreamSimulator:
         Virtual seconds of stream input to generate.
     max_items_per_source:
         Safety cap on generated items per source.
+    batch_size:
+        Items generated per pump through the DAG; bounds peak memory
+        together with open window state.
+
+    After :meth:`run`, ``peak_live_items`` holds the maximum number of
+    stream items the executor held in flight at any moment — bounded by
+    ``batch_size`` × DAG depth (plus multi-input delivery buffers),
+    independent of ``duration``.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        deployment: "Deployment",
+        generators: Dict[str, ItemGenerator],
+        duration: float,
+        max_items_per_source: Optional[int] = None,
+        batch_size: int = 64,
+    ) -> None:
+        if duration <= 0:
+            raise ExecutionError("duration must be positive")
+        if batch_size <= 0:
+            raise ExecutionError("batch size must be positive")
+        self.net = net
+        self.deployment = deployment
+        self.generators = generators
+        self.duration = duration
+        self.max_items = max_items_per_source
+        self.batch_size = batch_size
+        self.peak_live_items = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunMetrics:
+        order = self._topological_streams()
+        nodes, singles, multis = self._build_plan(order)
+        gauge = _Gauge()
+        for delivery in multis.values():
+            delivery.gauge = gauge  # buffered items count as in-flight
+        self._gauge = gauge
+        self._nodes = nodes
+
+        for stream in order:
+            if stream.is_original:
+                self._pump_source(nodes[stream.stream_id], gauge)
+        for delivery in multis.values():
+            delivery.finish()
+
+        self.peak_live_items = gauge.peak
+        return self._account(order, nodes, singles, multis)
+
+    # ------------------------------------------------------------------
+    # Plan construction
+    # ------------------------------------------------------------------
+    def _topological_streams(self) -> List["InstalledStream"]:
+        return topological_streams(self.deployment)
+
+    def _build_plan(
+        self, order: List["InstalledStream"]
+    ) -> Tuple[
+        Dict[str, _StreamNode],
+        Dict[str, _SingleDelivery],
+        Dict[str, _MultiDelivery],
+    ]:
+        nodes = {stream.stream_id: _StreamNode(stream) for stream in order}
+
+        # Wire children to parents; merge non-relay siblings into tries.
+        derived: Dict[str, List["InstalledStream"]] = {}
+        for stream in order:
+            if stream.parent_id is None:
+                continue
+            if stream.pipeline:
+                derived.setdefault(stream.parent_id, []).append(stream)
+            else:
+                nodes[stream.parent_id].relay_children.append(nodes[stream.stream_id])
+        for parent_id, children in derived.items():
+            parent_node = nodes[parent_id]
+            parent_node.trie_groups = group_pipelines(
+                [
+                    (child.stream_id, child.content.item_path, child.pipeline)
+                    for child in children
+                ]
+            )
+            for _, _, stage_paths in parent_node.trie_groups:
+                for stream_id, stage_path in stage_paths.items():
+                    nodes[stream_id].stage_path = stage_path
+
+        # Subscription consumers.
+        singles: Dict[str, _SingleDelivery] = {}
+        multis: Dict[str, _MultiDelivery] = {}
+        for record in self.deployment.queries.values():
+            if len(record.delivered) > 1:
+                delivery = _MultiDelivery(record, _Gauge())
+                multis[record.name] = delivery
+                for index, (_, stream_id) in enumerate(record.delivered):
+                    if stream_id in nodes:
+                        nodes[stream_id].deliveries.append(
+                            self._multi_feeder(delivery, index)
+                        )
+            else:
+                single = _SingleDelivery(record)
+                singles[record.name] = single
+                for _, stream_id in record.delivered:
+                    if stream_id in nodes:
+                        nodes[stream_id].deliveries.append(single.feed)
+        return nodes, singles, multis
+
+    @staticmethod
+    def _multi_feeder(
+        delivery: _MultiDelivery, index: int
+    ) -> Callable[[Sequence[Element]], None]:
+        def feed(batch: Sequence[Element]) -> None:
+            delivery.feed(index, batch)
+
+        return feed
+
+    # ------------------------------------------------------------------
+    # Streaming execution
+    # ------------------------------------------------------------------
+    def _pump_source(self, node: _StreamNode, gauge: _Gauge) -> None:
+        stream = node.stream
+        generator = self.generators.get(stream.stream_id)
+        if generator is None:
+            raise ExecutionError(
+                f"no generator for original stream {stream.stream_id!r}"
+            )
+        produced = 0
+        batch_size = self.batch_size
+        while generator.clock < self.duration:
+            batch: List[Element] = []
+            while (
+                generator.clock < self.duration
+                and len(batch) < batch_size
+                and (self.max_items is None or produced + len(batch) < self.max_items)
+            ):
+                batch.append(generator.next_item().freeze())
+            if not batch:
+                break
+            produced += len(batch)
+            self._pump(node, batch, gauge)
+            if self.max_items is not None and produced >= self.max_items:
+                break
+
+    def _pump(
+        self, node: _StreamNode, batch: List[Element], gauge: _Gauge
+    ) -> None:
+        """Consume one batch of ``node``'s items: account, deliver, fan out."""
+        gauge.add(len(batch))
+        node.produced_count += len(batch)
+        if node.has_hops:
+            node.produced_bytes += sum(item.serialized_size() for item in batch)
+        for feed in node.deliveries:
+            feed(batch)
+        for relay in node.relay_children:
+            self._pump(relay, batch, gauge)
+        for _, trie, _ in node.trie_groups:
+            trie.evaluate(batch, self._emit, gauge)
+        gauge.sub(len(batch))
+
+    def _emit(self, stream_id: str, out: List[Element]) -> None:
+        self._pump(self._nodes[stream_id], out, self._gauge)
+
+    # ------------------------------------------------------------------
+    # Metrics replay
+    # ------------------------------------------------------------------
+    def _account(
+        self,
+        order: List["InstalledStream"],
+        nodes: Dict[str, _StreamNode],
+        singles: Dict[str, _SingleDelivery],
+        multis: Dict[str, _MultiDelivery],
+    ) -> RunMetrics:
+        """Replay the accumulated counters into :class:`RunMetrics` in
+        the exact accumulation order of the materializing executor, so
+        both produce floating-point-identical metrics."""
+        metrics = RunMetrics(duration=self.duration)
+        for stream in order:
+            node = nodes[stream.stream_id]
+            peer = self.net.super_peer(stream.origin_node)
+            if stream.is_original:
+                metrics.count_generated(stream.stream_id, node.produced_count)
+                ingest = base_load("ingest") * peer.pindex
+                metrics.add_peer_work(stream.origin_node, ingest * node.produced_count)
+            else:
+                assert stream.parent_id is not None
+                parent_count = nodes[stream.parent_id].produced_count
+                duplicate = base_load("duplicate") * peer.pindex
+                metrics.add_peer_work(stream.origin_node, duplicate * parent_count)
+                for stage in node.stage_path:
+                    udf_name = getattr(getattr(stage.operator, "spec", None), "name", None)
+                    work = (
+                        base_load(stage.operator.kind, udf_name)
+                        * peer.pindex
+                        * stage.input_count
+                    )
+                    metrics.add_peer_work(stream.origin_node, work)
+            self._account_transport(stream, node, metrics)
+        self._account_postprocess(metrics, singles, multis)
+        return metrics
+
+    def _account_transport(
+        self, stream: "InstalledStream", node: _StreamNode, metrics: RunMetrics
+    ) -> None:
+        hops = stream.links()
+        if not hops or not node.produced_count:
+            return
+        total_bits = float(node.produced_bytes * 8)
+        for a, b in hops:
+            metrics.add_link_bits(self.net.link(a, b), total_bits)
+        # Forwarding work: the sender side of every hop touches each item.
+        for sender, _ in hops:
+            peer = self.net.super_peer(sender)
+            work = base_load("transfer") * peer.pindex * node.produced_count
+            metrics.add_peer_work(sender, work)
+
+    def _account_postprocess(
+        self,
+        metrics: RunMetrics,
+        singles: Dict[str, _SingleDelivery],
+        multis: Dict[str, _MultiDelivery],
+    ) -> None:
+        for record in self.deployment.queries.values():
+            peer = self.net.super_peer(record.subscriber_node)
+            work_per_item = base_load("restructure") * peer.pindex
+            if len(record.delivered) > 1:
+                delivery = multis[record.name]
+                metrics.add_peer_work(
+                    record.subscriber_node, work_per_item * delivery.total_inputs
+                )
+                metrics.count_delivery(record.name, delivery.results)
+                continue
+            single = singles[record.name]
+            for _ in record.delivered:
+                metrics.add_peer_work(
+                    record.subscriber_node, work_per_item * single.inputs
+                )
+                metrics.count_delivery(record.name, single.results)
+
+
+# ----------------------------------------------------------------------
+# The materializing oracle
+# ----------------------------------------------------------------------
+class MaterializingSimulator:
+    """The seed executor: materialize every stream's full item list.
+
+    Kept as the correctness oracle for :class:`StreamSimulator` — it
+    evaluates every derived stream with its own private pipeline over
+    the parent's fully materialized item list, exactly as the original
+    implementation did.  Peak memory is O(all items × all streams);
+    ``peak_live_items`` reports the total number of materialized items
+    for comparison in the micro benchmark.
     """
 
     def __init__(
@@ -69,6 +493,7 @@ class StreamSimulator:
         self.generators = generators
         self.duration = duration
         self.max_items = max_items_per_source
+        self.peak_live_items = 0
 
     # ------------------------------------------------------------------
     def run(self) -> RunMetrics:
@@ -82,6 +507,7 @@ class StreamSimulator:
                 items[stream.stream_id] = self._derive(stream, items, metrics)
             self._account_transport(stream, items[stream.stream_id], metrics)
 
+        self.peak_live_items = sum(len(produced) for produced in items.values())
         self._postprocess(items, metrics)
         return metrics
 
@@ -89,25 +515,7 @@ class StreamSimulator:
     # Stream production
     # ------------------------------------------------------------------
     def _topological_streams(self) -> List["InstalledStream"]:
-        """Parents before children (original streams first)."""
-        ordered: List["InstalledStream"] = []
-        placed: set = set()
-        pending = list(self.deployment.streams.values())
-        while pending:
-            progressed = False
-            remaining: List["InstalledStream"] = []
-            for stream in pending:
-                if stream.parent_id is None or stream.parent_id in placed:
-                    ordered.append(stream)
-                    placed.add(stream.stream_id)
-                    progressed = True
-                else:
-                    remaining.append(stream)
-            if not progressed:
-                cycle = ", ".join(s.stream_id for s in remaining)
-                raise ExecutionError(f"stream dependency cycle: {cycle}")
-            pending = remaining
-        return ordered
+        return topological_streams(self.deployment)
 
     def _generate(self, stream: "InstalledStream", metrics: RunMetrics) -> List[Element]:
         generator = self.generators.get(stream.stream_id)
@@ -191,7 +599,7 @@ class StreamSimulator:
 
     def _postprocess_multi(
         self,
-        record,
+        record: "RegisteredQuery",
         items: Dict[str, List[Element]],
         metrics: RunMetrics,
         work_per_item: float,
@@ -209,13 +617,6 @@ class StreamSimulator:
         total_inputs = sum(len(delivered) for _, delivered in per_stream)
         metrics.add_peer_work(record.subscriber_node, work_per_item * total_inputs)
         results = 0
-        index = 0
-        remaining = True
-        while remaining:
-            remaining = False
-            for input_stream, delivered in per_stream:
-                if index < len(delivered):
-                    remaining = True
-                    results += len(combiner.push(input_stream, delivered[index]))
-            index += 1
+        for input_stream, item in interleave_round_robin(per_stream):
+            results += len(combiner.push(input_stream, item))
         metrics.count_delivery(record.name, results)

@@ -13,9 +13,20 @@ from .restructure import Restructurer
 class Pipeline:
     """A chain of push operators installed at one super-peer.
 
-    ``process`` folds one input item through every stage; per-stage
-    input counts are tracked so the executor can charge each operator's
-    work exactly as the cost model defines it (base load × inputs).
+    ``process_batch`` folds a batch of input items through every stage;
+    per-stage input counts are tracked so the executor can charge each
+    operator's work exactly as the cost model defines it (base load ×
+    inputs).  Stage-wise batch evaluation is observationally identical
+    to pushing items one by one: every operator sees the same input
+    sequence in the same order, so deterministic (possibly stateful)
+    operators reach the same state and emit the same outputs.
+
+    End-of-stream semantics: the executor never calls :meth:`flush` —
+    subscriptions are *continuous* queries over unbounded streams, so a
+    run's horizon is a measurement window, not an end-of-stream marker;
+    flushing would emit partial windows the infinite stream never
+    produces (see DESIGN.md §7).  ``flush`` exists for explicit drains
+    in tests and tools.
     """
 
     def __init__(self, operators: Sequence[Operator]) -> None:
@@ -34,15 +45,16 @@ class Pipeline:
         )
 
     def process(self, item: Element) -> List[Element]:
-        batch = [item]
+        return self.process_batch((item,))
+
+    def process_batch(self, items: Sequence[Element]) -> List[Element]:
+        batch: List[Element] = list(items)
         for index, operator in enumerate(self.operators):
-            self.input_counts[index] += len(batch)
-            next_batch: List[Element] = []
-            for current in batch:
-                next_batch.extend(operator.process(current))
-            batch = next_batch
             if not batch:
                 break
+            self.input_counts[index] += len(batch)
+            process = operator.process
+            batch = [out for current in batch for out in process(current)]
         return batch
 
     def flush(self) -> List[Element]:

@@ -15,7 +15,7 @@ subscribing thin-peer, and its output is never reused in the network
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 from ..wxquery import (
     AnalyzedQuery,
@@ -36,19 +36,31 @@ from .operators import EngineError, Operator
 #: A binding value during return-clause evaluation.
 Value = Union[Element, float, List[Element]]
 
+#: A compiled return-clause expression: bindings -> evaluated values.
+Compiled = Callable[[Dict[str, "Value"]], List["Value"]]
+
 
 class Restructurer:
-    """Evaluate a subscription's ``return`` clause over stream items."""
+    """Evaluate a subscription's ``return`` clause over stream items.
+
+    The return expression is compiled once into a tree of closures
+    (:meth:`_compile`); per-item evaluation then runs without AST
+    type dispatch — the executor restructures every delivered item of
+    every subscription, so this is one of the engine's hottest paths.
+    """
 
     def __init__(self, analyzed: AnalyzedQuery) -> None:
         self.analyzed = analyzed
         self._aggregations = analyzed.aggregations()
+        self._compiled = self._compile(analyzed.flwr.return_expr)
 
     # ------------------------------------------------------------------
     def build(self, item: Element) -> List[Element]:
         """Produce the result elements for one delivered stream item."""
         bindings = self._bind(item)
-        return _as_elements(self._eval(self.analyzed.flwr.return_expr, bindings))
+        if not bindings:
+            return []
+        return _as_elements(self._compiled(bindings))
 
     def build_with_bindings(self, bindings: Dict[str, Value]) -> List[Element]:
         """Evaluate the return clause under explicit variable bindings.
@@ -57,7 +69,9 @@ class Restructurer:
         (:class:`repro.engine.combine.LatestValueCombiner`), which binds
         each input stream's root variable to its latest item.
         """
-        return _as_elements(self._eval(self.analyzed.flwr.return_expr, dict(bindings)))
+        if not bindings:
+            return []
+        return _as_elements(self._compiled(dict(bindings)))
 
     def _bind(self, item: Element) -> Dict[str, Value]:
         bindings: Dict[str, Value] = {}
@@ -80,52 +94,72 @@ class Restructurer:
         return bindings
 
     # ------------------------------------------------------------------
-    # Expression evaluation
+    # Expression compilation
     # ------------------------------------------------------------------
-    def _eval(self, expr: Expr, bindings: Dict[str, Value]) -> List[Value]:
-        if not bindings:
-            return []
-        if isinstance(expr, EmptyElement):
-            return [Element(expr.tag)]
-        if isinstance(expr, DirectElement):
-            parts: List[Value] = []
-            for piece in expr.content:
-                parts.extend(self._eval(piece, bindings))
-            return [_assemble(expr.tag, parts)]
-        if isinstance(expr, EnclosedExpr):
-            return self._eval(expr.body, bindings)
-        if isinstance(expr, SequenceExpr):
-            out: List[Value] = []
-            for piece in expr.items:
-                out.extend(self._eval(piece, bindings))
-            return out
-        if isinstance(expr, IfExpr):
-            branch = expr.then_branch if self._holds(expr.condition.atoms, bindings) else expr.else_branch
-            return self._eval(branch, bindings)
-        if isinstance(expr, PathOutput):
-            return list(self._navigate(expr.var, expr.path.steps, bindings))
-        if isinstance(expr, VarOutput):
-            value = bindings.get(expr.var)
-            if value is None:
-                raise EngineError(f"unbound variable ${expr.var} at restructuring")
-            if isinstance(value, list):
-                return [element.copy() for element in value]
-            if isinstance(value, Element):
-                return [value.copy()]
-            return [value]
-        raise EngineError(f"cannot restructure expression {expr!r}")
+    def _compile(self, expr: Expr) -> "Compiled":
+        """Translate a return expression into a closure tree.
 
-    def _navigate(self, var: str, steps, bindings: Dict[str, Value]) -> List[Element]:
-        value = bindings.get(var)
-        if value is None:
-            raise EngineError(f"unbound variable ${var} at restructuring")
-        if isinstance(value, float):
-            raise EngineError(f"cannot navigate into scalar ${var}")
-        roots = value if isinstance(value, list) else [value]
-        found: List[Element] = []
-        for root in roots:
-            found.extend(node.copy() for node in root.find_all(steps))
-        return found
+        Each closure maps ``bindings -> List[Value]``; per-item
+        evaluation pays no AST isinstance dispatch.  Bindings are never
+        empty here — :meth:`build` filters empty-window items first.
+        """
+        if isinstance(expr, EmptyElement):
+            tag = expr.tag
+            return lambda bindings: [Element(tag)]
+        if isinstance(expr, DirectElement):
+            tag = expr.tag
+            pieces = [self._compile(piece) for piece in expr.content]
+            def direct(bindings: Dict[str, Value]) -> List[Value]:
+                parts: List[Value] = []
+                for piece in pieces:
+                    parts.extend(piece(bindings))
+                return [_assemble(tag, parts)]
+            return direct
+        if isinstance(expr, EnclosedExpr):
+            return self._compile(expr.body)
+        if isinstance(expr, SequenceExpr):
+            items = [self._compile(piece) for piece in expr.items]
+            def sequence(bindings: Dict[str, Value]) -> List[Value]:
+                out: List[Value] = []
+                for piece in items:
+                    out.extend(piece(bindings))
+                return out
+            return sequence
+        if isinstance(expr, IfExpr):
+            atoms = expr.condition.atoms
+            then_branch = self._compile(expr.then_branch)
+            else_branch = self._compile(expr.else_branch)
+            holds = self._holds
+            return lambda bindings: (
+                then_branch(bindings) if holds(atoms, bindings) else else_branch(bindings)
+            )
+        if isinstance(expr, PathOutput):
+            var, steps = expr.var, expr.path.steps
+            def navigate(bindings: Dict[str, Value]) -> List[Value]:
+                value = bindings.get(var)
+                if value is None:
+                    raise EngineError(f"unbound variable ${var} at restructuring")
+                if isinstance(value, float):
+                    raise EngineError(f"cannot navigate into scalar ${var}")
+                roots = value if isinstance(value, list) else [value]
+                found: List[Value] = []
+                for root in roots:
+                    found.extend(node.copy() for node in root.find_all(steps))
+                return found
+            return navigate
+        if isinstance(expr, VarOutput):
+            var = expr.var
+            def output(bindings: Dict[str, Value]) -> List[Value]:
+                value = bindings.get(var)
+                if value is None:
+                    raise EngineError(f"unbound variable ${var} at restructuring")
+                if isinstance(value, list):
+                    return [element.copy() for element in value]
+                if isinstance(value, Element):
+                    return [value.copy()]
+                return [value]
+            return output
+        raise EngineError(f"cannot restructure expression {expr!r}")
 
     def _holds(self, atoms, bindings: Dict[str, Value]) -> bool:
         for atom in atoms:

@@ -2,31 +2,66 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Tuple
 
-from ..predicates import PredicateGraph
+from ..predicates import ZERO, PredicateGraph
 from ..xmlkit import Element, Path
-from .eval import satisfies
+from .eval import rebase
 from .operators import Operator
+
+#: One compiled predicate edge: rebased navigation steps for both
+#: operands (``None`` encodes the zero node), the additive bound, and
+#: strictness.  Precompiled once per operator so per-item evaluation
+#: never constructs :class:`~repro.xmlkit.Path` objects.
+_CompiledEdge = Tuple[Optional[Tuple[str, ...]], Optional[Tuple[str, ...]], float, bool]
+
+
+def _compile_edges(graph: PredicateGraph, item_path: Path) -> List[_CompiledEdge]:
+    edges: List[_CompiledEdge] = []
+    for (source, target), bound in graph.edges.items():
+        source_steps = None if source == ZERO else rebase(source, item_path).steps
+        target_steps = None if target == ZERO else rebase(target, item_path).steps
+        edges.append((source_steps, target_steps, float(bound.value), bound.strict))
+    return edges
 
 
 class SelectOperator(Operator):
-    """Filter items by a conjunctive predicate graph."""
+    """Filter items by a conjunctive predicate graph.
+
+    Semantically identical to evaluating :func:`repro.engine.eval.satisfies`
+    per item; the predicate edges are compiled at construction time so the
+    per-item work is pure tree navigation.
+    """
 
     kind = "selection"
 
     def __init__(self, graph: PredicateGraph, item_path: Path) -> None:
         self.graph = graph
         self.item_path = item_path
+        self._edges = _compile_edges(graph, item_path)
         self.seen = 0
         self.passed = 0
 
     def process(self, item: Element) -> List[Element]:
         self.seen += 1
-        if satisfies(item, self.graph, self.item_path):
+        if self._accepts(item):
             self.passed += 1
             return [item]
         return []
+
+    def _accepts(self, item: Element) -> bool:
+        for source_steps, target_steps, value, strict in self._edges:
+            left = 0.0 if source_steps is None else item.number(source_steps)
+            right = 0.0 if target_steps is None else item.number(target_steps)
+            if left is None or right is None:
+                return False
+            limit = right + value
+            if strict:
+                if not left < limit:
+                    return False
+            elif not left <= limit:
+                return False
+        return True
 
     @property
     def observed_selectivity(self) -> float:

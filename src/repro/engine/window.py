@@ -17,7 +17,7 @@ from typing import Generic, List, Optional, Tuple, TypeVar
 
 from ..properties import WindowContentsSpec
 from ..xmlkit import Element, Path
-from .eval import item_number
+from .eval import rebase
 from .operators import EngineError, Operator
 
 T = TypeVar("T")
@@ -146,6 +146,13 @@ class WindowContentsOperator(Operator):
             float(spec.window.size), float(spec.window.step)
         )
         self._count = 0
+        # Rebase the reference path once; per-item positioning is then
+        # pure navigation (same value as item_number on the spec path).
+        self._reference_steps = (
+            None
+            if spec.window.reference is None
+            else rebase(spec.window.reference, item_path).steps
+        )
 
     def process(self, item: Element) -> List[Element]:
         position = self._position(item)
@@ -162,8 +169,8 @@ class WindowContentsOperator(Operator):
             position = float(self._count)
             self._count += 1
             return position
-        assert self.spec.window.reference is not None
-        return item_number(item, self.spec.window.reference, self.item_path)
+        assert self._reference_steps is not None
+        return item.number(self._reference_steps)
 
     @staticmethod
     def _emit(batch: WindowBatch[Element]) -> Element:

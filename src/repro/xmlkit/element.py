@@ -41,6 +41,11 @@ def _coerce_text(value: Optional[Scalar]) -> Optional[str]:
     raise TypeError(f"unsupported text type: {type(value)!r}")
 
 
+_INVALID_TAG_CHARS = frozenset(" \t\n\r<>&/'\"")
+#: Tags seen and validated once; stream tags repeat millions of times.
+_VALIDATED_TAGS: set = set()
+
+
 class Element:
     """A single XML element: tag, optional text, ordered children.
 
@@ -59,7 +64,7 @@ class Element:
         Optional iterable of child :class:`Element` objects.
     """
 
-    __slots__ = ("tag", "text", "children")
+    __slots__ = ("tag", "text", "children", "_size")
 
     def __init__(
         self,
@@ -67,11 +72,14 @@ class Element:
         text: Optional[Scalar] = None,
         children: Optional[Iterable["Element"]] = None,
     ) -> None:
-        if not tag or any(c in tag for c in " \t\n\r<>&/'\""):
-            raise ValueError(f"invalid element tag: {tag!r}")
+        if tag not in _VALIDATED_TAGS:
+            if not tag or _INVALID_TAG_CHARS.intersection(tag):
+                raise ValueError(f"invalid element tag: {tag!r}")
+            _VALIDATED_TAGS.add(tag)
         self.tag = tag
-        self.text = _coerce_text(text)
+        self.text = text if type(text) is str or text is None else _coerce_text(text)
         self.children: List[Element] = list(children) if children else []
+        self._size: Optional[int] = None
         if self.text is not None and self.children:
             raise ValueError(
                 f"element <{tag}> cannot carry both text and children "
@@ -83,6 +91,8 @@ class Element:
     # ------------------------------------------------------------------
     def append(self, child: "Element") -> None:
         """Add ``child`` as the last child of this element."""
+        if self._size is not None:
+            raise ValueError(f"element <{self.tag}> is frozen; cannot add children")
         if self.text is not None:
             raise ValueError(f"element <{self.tag}> has text; cannot add children")
         self.children.append(child)
@@ -93,8 +103,17 @@ class Element:
             self.append(child)
 
     def copy(self) -> "Element":
-        """Return a deep copy of this subtree."""
-        return Element(self.tag, self.text, (c.copy() for c in self.children))
+        """Return a deep copy of this subtree (unfrozen).
+
+        Bypasses ``__init__``: the source element already passed tag
+        validation and text coercion, so the clone copies slots directly.
+        """
+        clone = Element.__new__(Element)
+        clone.tag = self.tag
+        clone.text = self.text
+        clone.children = [c.copy() for c in self.children]
+        clone._size = None
+        return clone
 
     # ------------------------------------------------------------------
     # Navigation
@@ -114,9 +133,12 @@ class Element:
         """
         node: Optional[Element] = self
         for step in steps:
-            if node is None:
+            for candidate in node.children:
+                if candidate.tag == step:
+                    node = candidate
+                    break
+            else:
                 return None
-            node = node.child(step)
         return node
 
     def find_all(self, steps: Sequence[str]) -> List["Element"]:
@@ -139,11 +161,11 @@ class Element:
         Returns ``None`` when the path does not resolve or the text is
         not a number.
         """
-        text = self.value(steps)
-        if text is None:
+        node = self.find(steps)
+        if node is None or node.text is None:
             return None
         try:
-            return float(text)
+            return float(node.text)
         except ValueError:
             return None
 
@@ -158,12 +180,54 @@ class Element:
     # ------------------------------------------------------------------
     # Size accounting (drives the traffic measurements)
     # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        """``True`` once :meth:`freeze` pinned this node's size."""
+        return self._size is not None
+
+    def freeze(self) -> "Element":
+        """Pin this subtree's serialized size and make it immutable.
+
+        The streaming executor freezes every item at ingest and every
+        operator output before transport accounting, so relays and
+        multi-hop routes charge bytes without re-walking subtrees.  The
+        cache can only be trusted on an immutable tree — a frozen
+        element rejects :meth:`append`/:meth:`extend` — which is why
+        freezing is explicit rather than implicit on first size query.
+        Freezing is idempotent and returns ``self`` for chaining;
+        already-frozen children are reused without descending into them.
+        """
+        if self._size is None:
+            self._size = self._compute_size()
+        return self
+
+    def _compute_size(self) -> int:
+        tag_len = len(self.tag.encode("utf-8"))
+        if not self.children and self.text is None:
+            # "<t/>"
+            return tag_len + 3
+        size = 2 * tag_len + 5  # "<t>" + "</t>"
+        if self.text is not None:
+            size += len(_escape_text(self.text).encode("utf-8"))
+        for child in self.children:
+            child_size = child._size
+            if child_size is None:
+                child_size = child._compute_size()
+                child._size = child_size
+            size += child_size
+        return size
+
     def serialized_size(self) -> int:
         """Number of bytes of the canonical serialization of this subtree.
 
         Matches :func:`repro.xmlkit.serializer.serialize` with default
-        options (compact, UTF-8) without building the string.
+        options (compact, UTF-8) without building the string.  Frozen
+        subtrees answer from their pinned size; unfrozen ones walk the
+        tree (reusing any frozen descendants) without caching, since an
+        unfrozen node may still be mutated.
         """
+        if self._size is not None:
+            return self._size
         tag_len = len(self.tag.encode("utf-8"))
         if not self.children and self.text is None:
             # "<t/>"

@@ -2,6 +2,7 @@
 
 import string
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.xmlkit import Element, parse, prune_to_paths, serialize
@@ -51,6 +52,71 @@ class TestSerializationRoundTrip:
         def count(node):
             return 1 + sum(count(c) for c in node.children)
         assert via_iter == count(element)
+
+
+#: Texts biased toward the serializer's escape path (&, <, >).
+ESCAPED_TEXTS = st.text(
+    alphabet=string.ascii_lowercase + "&<>",
+    min_size=1,
+    max_size=20,
+).filter(lambda s: s.strip() == s)
+
+
+def escaped_elements(max_depth=3):
+    return st.recursive(
+        st.builds(Element, TAGS, st.one_of(st.none(), TEXTS, ESCAPED_TEXTS)),
+        lambda children: st.builds(
+            lambda tag, kids: Element(tag, children=kids),
+            TAGS,
+            st.lists(children, min_size=1, max_size=4),
+        ),
+        max_leaves=12,
+    )
+
+
+class TestFrozenSizeCache:
+    """The executor freezes items at ingest: ``_size`` is pinned once
+    and must equal the true serialized byte length ever after."""
+
+    @given(escaped_elements())
+    @settings(max_examples=200)
+    def test_frozen_size_matches_serializer(self, element):
+        uncached = element.serialized_size()
+        element.freeze()
+        assert element.serialized_size() == uncached
+        assert element.serialized_size() == len(serialize(element).encode("utf-8"))
+
+    @given(escaped_elements())
+    @settings(max_examples=100)
+    def test_freeze_pins_descendants(self, element):
+        element.freeze()
+        for node in element.iter():
+            assert node.frozen
+            assert node.serialized_size() == len(serialize(node).encode("utf-8"))
+
+    @given(escaped_elements(), elements())
+    @settings(max_examples=100)
+    def test_append_after_build_sequence(self, element, extra):
+        """Arbitrary build/append interleavings: sizes stay exact as
+        long as mutation happens before freeze, and are rejected after."""
+        if element.text is None:
+            element.append(extra)
+            assert element.serialized_size() == len(serialize(element).encode("utf-8"))
+        element.freeze()
+        with pytest.raises(ValueError):
+            element.append(Element("late"))
+        assert element.serialized_size() == len(serialize(element).encode("utf-8"))
+
+    @given(escaped_elements())
+    @settings(max_examples=100)
+    def test_copy_of_frozen_is_mutable_and_equal(self, element):
+        element.freeze()
+        clone = element.copy()
+        assert clone == element
+        assert not clone.frozen
+        assert clone.serialized_size() == element.serialized_size()
+        if clone.text is None:
+            clone.append(Element("tail"))  # copies must stay mutable
 
 
 PATH_STEPS = st.lists(TAGS, min_size=0, max_size=4).map(tuple)
