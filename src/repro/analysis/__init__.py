@@ -17,7 +17,7 @@ Both are wired into ``python -m repro.analysis`` (CI gate) and, via
 from .diagnostics import AnalysisReport, Diagnostic, InvariantViolation
 from .linter import lint_paths, lint_source
 from .plan_verifier import verify_deployment
-from .preflight import build_verified_system, verify_system
+from .preflight import build_churned_system, build_verified_system, verify_system
 from .typecheck import SchemaView, check_content, check_pipeline
 
 __all__ = [
@@ -25,6 +25,7 @@ __all__ = [
     "Diagnostic",
     "InvariantViolation",
     "SchemaView",
+    "build_churned_system",
     "build_verified_system",
     "check_content",
     "check_pipeline",

@@ -12,8 +12,11 @@ with the repro-specific :mod:`~repro.analysis.linter`.  ``--plan``
 builds the paper's benchmark scenarios, registers their workload
 (without pumping items) and runs the
 :func:`~repro.analysis.plan_verifier.verify_deployment` invariants over
-the resulting deployments.  Exit status is 0 iff every requested pass
-is free of error-severity diagnostics, which is what CI keys on.
+the resulting deployments.  ``--churn`` replays the churn scenario's
+fault schedule against a registered deployment and verifies the plan
+after every repair (``python -m repro.analysis --churn``).  Exit status
+is 0 iff every requested pass is free of error-severity diagnostics,
+which is what CI keys on.
 """
 
 from __future__ import annotations
@@ -55,6 +58,23 @@ def _plan_reports(
     return reports
 
 
+def _churn_reports(strategies: Optional[Sequence[str]]) -> List[AnalysisReport]:
+    from ..sharing.strategies import STRATEGIES
+    from ..workload.scenarios import scenario_churn
+    from .preflight import build_churned_system
+
+    reports: List[AnalysisReport] = []
+    for strategy in strategies or list(STRATEGIES):
+        reports.extend(
+            build_churned_system(
+                scenario_churn(),
+                strategy,
+                title=f"churn verification, strategy {strategy!r}",
+            )
+        )
+    return reports
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
@@ -71,6 +91,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--plan",
         action="store_true",
         help="register the benchmark scenarios and verify their deployments",
+    )
+    parser.add_argument(
+        "--churn",
+        action="store_true",
+        help="replay the churn scenario's faults and verify every repaired "
+        "deployment",
     )
     parser.add_argument(
         "--scenario",
@@ -92,8 +118,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     run_code = args.code is not None
     run_plan = args.plan
-    if not run_code and not run_plan:
-        run_code = run_plan = True  # no flags: run the full gate
+    run_churn = args.churn
+    if not run_code and not run_plan and not run_churn:
+        run_code = run_plan = True  # no flags: run the default full gate
 
     reports: List[AnalysisReport] = []
     if run_code:
@@ -112,6 +139,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"pick from {', '.join(STRATEGIES)}"
             )
         reports.extend(_plan_reports(args.scenario or _SCENARIOS, args.strategy))
+    if run_churn:
+        from ..sharing.strategies import STRATEGIES
+
+        unknown = [s for s in args.strategy or [] if s not in STRATEGIES]
+        if unknown:
+            parser.error(
+                f"unknown strategy {', '.join(unknown)}; "
+                f"pick from {', '.join(STRATEGIES)}"
+            )
+        reports.extend(_churn_reports(args.strategy))
 
     failed = False
     for report in reports:

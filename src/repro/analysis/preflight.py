@@ -21,7 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..sharing.system import StreamGlobe
     from ..workload.scenarios import Scenario
 
-__all__ = ["verify_system", "build_verified_system"]
+__all__ = ["verify_system", "build_verified_system", "build_churned_system"]
 
 
 def verify_system(
@@ -49,3 +49,37 @@ def build_verified_system(
     for spec in scenario.queries:
         system.register_query(spec.name, spec.text, spec.subscriber_peer)
     return verify_system(system, title=title)
+
+
+def build_churned_system(
+    scenario: "Scenario", strategy: str, title: str = "churn verification"
+) -> "list[AnalysisReport]":
+    """Register ``scenario``, replay its fault schedule, verify each repair.
+
+    Applies every scheduled fault to the registered (unexecuted)
+    deployment through :meth:`StreamGlobe.apply_fault` and verifies the
+    repaired deployment after each event — the static gate for
+    ``python -m repro.analysis --churn``.
+    """
+    from ..sharing.system import StreamGlobe
+
+    if scenario.faults is None or not scenario.faults:
+        raise ValueError(f"scenario {scenario.name!r} has no fault schedule")
+    system = StreamGlobe(scenario.build_network(), strategy=strategy)
+    for source in scenario.sources:
+        system.register_stream(
+            source.name,
+            "photons/photon",
+            source.generator_factory(),
+            frequency=source.frequency,
+            source_peer=source.source_peer,
+        )
+    for spec in scenario.queries:
+        system.register_query(spec.name, spec.text, spec.subscriber_peer)
+    reports = []
+    for event in scenario.faults.events():
+        system.apply_fault(event)
+        reports.append(
+            verify_system(system, title=f"{title}: after {event.describe()}")
+        )
+    return reports

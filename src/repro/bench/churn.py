@@ -1,0 +1,192 @@
+"""Churn benchmark: degradation and recovery under injected faults.
+
+Runs the churn scenario (a grid with a mid-run super-peer crash and
+rejoin, :func:`~repro.workload.scenarios.scenario_churn`) twice — once
+fault-free, once with the fault schedule — and reports what the fault
+cost: recovery time, items lost, extra re-routing traffic, and whether
+every *unaffected* subscription delivered byte-identical results in
+both runs (the fault-isolation guarantee).  The report is written to
+``BENCH_PR3.json`` at the repo root by default.
+
+Usage::
+
+    python -m repro.bench.churn                      # full benchmark
+    python -m repro.bench.churn --scenario smoke     # CI smoke run
+    python -m repro.bench.churn --check BENCH_PR3.json
+        # regression gate: fail if recovery overhead (re-routed
+        # traffic fraction) or recovery time grows more than
+        # --tolerance (default 30%) over the committed baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Callable, Dict, List, Optional
+
+from ..workload.scenarios import Scenario, scenario_churn
+from ..xmlkit.serializer import serialize
+from .harness import run_scenario
+
+
+def _smoke_scenario() -> Scenario:
+    return scenario_churn(rows=3, cols=3, query_count=8, duration=15.0,
+                          crash_at=5.0, rejoin_at=10.0)
+
+
+SCENARIOS: Dict[str, Callable[[], Scenario]] = {
+    "smoke": _smoke_scenario,
+    "churn": scenario_churn,
+}
+
+
+def _execute(scenario: Scenario, faulted: bool) -> Dict[str, Any]:
+    """Register the workload and run it, capturing delivered results."""
+    run = run_scenario(scenario, "stream-sharing", execute=False)
+    outputs: Dict[str, List[str]] = {spec.name: [] for spec in scenario.queries}
+
+    def capture(query: str, item) -> None:
+        outputs[query].append(serialize(item))
+
+    metrics = run.system.run(
+        scenario.duration,
+        faults=scenario.faults if faulted else None,
+        capture=capture,
+    )
+    return {"system": run.system, "metrics": metrics, "outputs": outputs}
+
+
+def _affected_queries(scenario: Scenario) -> List[str]:
+    """Queries a fresh faulted registration tears down at least once.
+
+    Determined by replaying the fault schedule against a newly
+    registered (unexecuted) deployment — the same damage analysis the
+    live repair performs.
+    """
+    run = run_scenario(scenario, "stream-sharing", execute=False)
+    affected: set = set()
+    assert scenario.faults is not None
+    for event in scenario.faults.events():
+        report = run.system.apply_fault(event)
+        affected.update(report.torn_down_queries)
+    return sorted(affected)
+
+
+def run_benchmark(names: List[str]) -> Dict[str, Any]:
+    report: Dict[str, Any] = {"benchmark": "repro.bench.churn", "scenarios": {}}
+    for name in names:
+        baseline = _execute(SCENARIOS[name](), faulted=False)
+        faulted = _execute(SCENARIOS[name](), faulted=True)
+        affected = _affected_queries(SCENARIOS[name]())
+
+        base_out = baseline["outputs"]
+        fault_out = faulted["outputs"]
+        unaffected = [q for q in base_out if q not in affected]
+        isolated = all(base_out[q] == fault_out[q] for q in unaffected)
+
+        metrics = faulted["metrics"]
+        entry = {
+            "duration": SCENARIOS[name]().duration,
+            "faults": SCENARIOS[name]().faults.describe(),
+            "faults_applied": metrics.faults_applied,
+            "affected_queries": affected,
+            "unaffected_identical": isolated,
+            "items_lost": metrics.items_lost,
+            "recovery_time_s": round(metrics.recovery_time_s, 4),
+            "rerouted_mbit": round(metrics.rerouted_mbit(), 4),
+            "recovery_overhead": round(metrics.recovery_overhead(), 4),
+            "queries_repaired": metrics.queries_repaired,
+            "queries_lost": metrics.queries_lost,
+            "total_mbit_faulted": round(metrics.total_mbit(), 4),
+            "total_mbit_baseline": round(baseline["metrics"].total_mbit(), 4),
+        }
+        report["scenarios"][name] = entry
+    return report
+
+
+def check_regression(
+    report: Dict[str, Any], baseline_path: str, tolerance: float
+) -> int:
+    """Gate on recovery-overhead (and recovery-time) regressions.
+
+    Returns 1 if, for any common scenario, the recovery overhead or the
+    recovery time grew more than ``tolerance`` (fraction) beyond the
+    committed baseline, or the fault-isolation guarantee broke.
+    """
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures: List[str] = []
+    for name, entry in report["scenarios"].items():
+        reference = baseline.get("scenarios", {}).get(name)
+        if not reference:
+            continue
+        if not entry["unaffected_identical"]:
+            print(f"{name}: unaffected subscriptions diverged  REGRESSION")
+            failures.append(name)
+            continue
+        ok = True
+        for key in ("recovery_overhead", "recovery_time_s"):
+            current = entry[key]
+            committed = reference[key]
+            ceiling = committed * (1.0 + tolerance)
+            status = "ok" if current <= ceiling else "REGRESSION"
+            print(
+                f"{name}: {key} {current:.4f} vs baseline {committed:.4f} "
+                f"(ceiling {ceiling:.4f}) {status}"
+            )
+            ok = ok and current <= ceiling
+        if not ok:
+            failures.append(name)
+    if failures:
+        print(f"regressed scenarios: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.churn", description=__doc__
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=[*SCENARIOS, "all"],
+        default="all",
+        help="which scenario(s) to run (default: all)",
+    )
+    parser.add_argument("--out", default="BENCH_PR3.json", help="report output path")
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare against a committed baseline report; exit 1 on a "
+        "recovery-overhead regression beyond --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional overhead growth for --check (default 0.30)",
+    )
+    options = parser.parse_args(argv)
+
+    names = list(SCENARIOS) if options.scenario == "all" else [options.scenario]
+    report = run_benchmark(names)
+    with open(options.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for name, entry in report["scenarios"].items():
+        print(
+            f"{name}: recovery {entry['recovery_time_s']:.3f}s, "
+            f"{entry['items_lost']} item(s) lost, "
+            f"re-routed {entry['rerouted_mbit']:.4f} MBit "
+            f"(overhead {entry['recovery_overhead']:.1%}), "
+            f"unaffected identical: {entry['unaffected_identical']}"
+        )
+    print(f"report written to {options.out}")
+    if options.check:
+        return check_regression(report, options.check, options.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -136,7 +136,9 @@ def run_scenario(
         system.register_query(spec.name, spec.text, spec.subscriber_peer)
         for spec in scenario.queries
     ]
-    metrics = system.run(scenario.duration) if execute else None
+    metrics = (
+        system.run(scenario.duration, faults=scenario.faults) if execute else None
+    )
     return ScenarioRun(
         scenario=scenario.name,
         strategy=strategy,

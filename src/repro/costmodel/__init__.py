@@ -5,6 +5,7 @@ from .latency import DEFAULT_LATENCY_MODEL, LatencyModel
 from .load import BASE_LOADS, OperatorLoad, base_load, operator_load
 from .model import (
     AGGREGATE_ITEM_SIZE,
+    RESIDUE_TOLERANCE,
     CostModel,
     NetworkUsage,
     PlanEffects,
@@ -32,6 +33,7 @@ __all__ = [
     "OperatorLoad",
     "PathStatistics",
     "PlanEffects",
+    "RESIDUE_TOLERANCE",
     "StatisticsCatalog",
     "StreamRate",
     "StreamStatistics",

@@ -199,6 +199,20 @@ def _result_filter_selectivity(
 # ----------------------------------------------------------------------
 # Network usage bookkeeping
 # ----------------------------------------------------------------------
+#: Register/deregister round-trips release commitments by float
+#: subtraction; the residues they leave (positive *or* negative) are
+#: many orders of magnitude below any real commitment (which is at
+#: least one item per second through one operator).  Totals within this
+#: tolerance of zero are clamped to exactly 0.0 so churn cannot
+#: accumulate dust that the static verifier's P13x invariants would
+#: misread as stale or negative commitments.
+RESIDUE_TOLERANCE = 1e-6
+
+
+def _clamp_residue(total: float) -> float:
+    return 0.0 if -RESIDUE_TOLERANCE < total < RESIDUE_TOLERANCE else total
+
+
 class NetworkUsage:
     """Committed bandwidth per link and computational load per peer.
 
@@ -214,10 +228,14 @@ class NetworkUsage:
 
     # -- commitments ----------------------------------------------------
     def add_link_traffic(self, link: Link, bits_per_second: float) -> None:
-        self._link_bits[link.ends] = self._link_bits.get(link.ends, 0.0) + bits_per_second
+        self._link_bits[link.ends] = _clamp_residue(
+            self._link_bits.get(link.ends, 0.0) + bits_per_second
+        )
 
     def add_peer_work(self, peer: str, work_per_second: float) -> None:
-        self._peer_work[peer] = self._peer_work.get(peer, 0.0) + work_per_second
+        self._peer_work[peer] = _clamp_residue(
+            self._peer_work.get(peer, 0.0) + work_per_second
+        )
 
     # -- fractions ------------------------------------------------------
     def link_traffic(self, link: Link) -> float:

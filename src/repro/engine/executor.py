@@ -27,10 +27,24 @@ continuous queries over unbounded streams; a run's ``duration`` is a
 measurement horizon, not an end-of-stream marker, so partially filled
 windows stay open exactly as they would in the live system (DESIGN.md
 §7).  :meth:`Pipeline.flush` remains available for explicit drains.
+
+Churn: :class:`StreamSimulator` optionally executes a
+:class:`~repro.faults.FaultSchedule`.  The run is split into epochs at
+the scheduled fault times (plus each fault's recovery completion);
+between epochs the fault mutates the topology, the supplied ``repair``
+callback rebuilds the deployment, and the executor *reconciles* its
+running plan with the repaired one — retiring removed streams (their
+counters are snapshotted for accounting), attaching repair-created
+streams with fresh operator state (recovery restarts window state,
+DESIGN.md §8), and re-wiring subscriptions whose delivery chain was
+rebuilt.  Unaffected streams keep their operator state and their
+delivery continuity, so their output is identical to a fault-free run.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
 from collections import deque
 from typing import (
     TYPE_CHECKING,
@@ -49,6 +63,7 @@ from ..network.topology import Network
 from ..xmlkit import Element
 
 if TYPE_CHECKING:  # avoid a runtime cycle with repro.sharing
+    from ..faults.schedule import FaultSchedule
     from ..sharing.plan import Deployment, InstalledStream, RegisteredQuery
 from .fanout import PrefixStage, PrefixTree, _Gauge, group_pipelines
 from .metrics import RunMetrics
@@ -130,19 +145,33 @@ def interleave_round_robin(
 class _SingleDelivery:
     """Incremental post-processing of a single-input subscription."""
 
-    __slots__ = ("record", "restructurer", "inputs", "results")
+    __slots__ = ("record", "restructurer", "inputs", "results", "capture")
 
-    def __init__(self, record: "RegisteredQuery") -> None:
+    def __init__(
+        self,
+        record: "RegisteredQuery",
+        capture: Optional[Callable[[str, Element], None]] = None,
+    ) -> None:
         self.record = record
         self.restructurer = Restructurer(record.analyzed)
         self.inputs = 0
         self.results = 0
+        self.capture = capture
 
     def feed(self, batch: Sequence[Element]) -> None:
         self.inputs += len(batch)
         build = self.restructurer.build
+        capture = self.capture
+        if capture is None:
+            for item in batch:
+                self.results += len(build(item))
+            return
+        name = self.record.name
         for item in batch:
-            self.results += len(build(item))
+            out = build(item)
+            self.results += len(out)
+            for produced in out:
+                capture(name, produced)
 
 
 class _MultiDelivery:
@@ -155,14 +184,20 @@ class _MultiDelivery:
     the subscription's own delivery rate, not the source rate).
     """
 
-    __slots__ = ("record", "buffers", "gauge", "results", "total_inputs")
+    __slots__ = ("record", "buffers", "gauge", "results", "total_inputs", "capture")
 
-    def __init__(self, record: "RegisteredQuery", gauge: _Gauge) -> None:
+    def __init__(
+        self,
+        record: "RegisteredQuery",
+        gauge: _Gauge,
+        capture: Optional[Callable[[str, Element], None]] = None,
+    ) -> None:
         self.record = record
         self.buffers: List[List[Element]] = [[] for _ in record.delivered]
         self.gauge = gauge
         self.results = 0
         self.total_inputs = 0
+        self.capture = capture
 
     def feed(self, index: int, batch: Sequence[Element]) -> None:
         self.buffers[index].extend(batch)
@@ -177,8 +212,13 @@ class _MultiDelivery:
             (input_stream, self.buffers[index])
             for index, (input_stream, _) in enumerate(self.record.delivered)
         ]
+        name = self.record.name
         for input_stream, item in interleave_round_robin(per_stream):
-            self.results += len(combiner.push(input_stream, item))
+            out = combiner.push(input_stream, item)
+            self.results += len(out)
+            if self.capture is not None:
+                for produced in out:
+                    self.capture(name, produced)
         self.gauge.sub(self.total_inputs)
 
 
@@ -194,6 +234,8 @@ class _StreamNode:
         "trie_groups",
         "stage_path",
         "deliveries",
+        "duplicate_base",
+        "repair_added",
     )
 
     def __init__(self, stream: "InstalledStream") -> None:
@@ -209,6 +251,69 @@ class _StreamNode:
         self.stage_path: List[PrefixStage] = []
         #: Subscription consumers fed with this stream's items.
         self.deliveries: List[Callable[[Sequence[Element]], None]] = []
+        #: Parent items produced before this node attached (mid-run
+        #: attachments duplicate only post-attach parent items).
+        self.duplicate_base = 0
+        #: Created by plan repair — its traffic is re-routing overhead.
+        self.repair_added = False
+
+
+class _Gate:
+    """Recovery gate on a repaired subscription's delivery feeds.
+
+    While closed (re-registration still in progress in stream time),
+    arriving items are dropped and counted as lost.
+    """
+
+    __slots__ = ("open", "open_at", "lost")
+
+    def __init__(self, open_at: float) -> None:
+        self.open = False
+        self.open_at = open_at
+        self.lost = 0
+
+
+class _RetiredNode:
+    """Accounting snapshot of a stream node retired by plan repair.
+
+    Shared-prefix stages keep accumulating for surviving siblings after
+    a retirement, so the retired stream's stage input counts must be
+    pinned at the moment it detaches.
+    """
+
+    __slots__ = (
+        "stream",
+        "produced_count",
+        "produced_bytes",
+        "duplicate_count",
+        "stage_counts",
+        "repair_added",
+    )
+
+    def __init__(
+        self,
+        stream: "InstalledStream",
+        produced_count: int,
+        produced_bytes: int,
+        duplicate_count: int,
+        stage_counts: List[Tuple[str, Optional[str], int]],
+        repair_added: bool,
+    ) -> None:
+        self.stream = stream
+        self.produced_count = produced_count
+        self.produced_bytes = produced_bytes
+        self.duplicate_count = duplicate_count
+        #: ``(operator kind, udf name, input count)`` per pipeline stage.
+        self.stage_counts = stage_counts
+        self.repair_added = repair_added
+
+
+def _prune_stages(stages: List[PrefixStage]) -> None:
+    """Drop trie stages that feed no terminal stream and no child."""
+    for stage in list(stages):
+        _prune_stages(stage.children)
+        if not stage.children and not stage.streams:
+            stages.remove(stage)
 
 
 class StreamSimulator:
@@ -229,6 +334,21 @@ class StreamSimulator:
     batch_size:
         Items generated per pump through the DAG; bounds peak memory
         together with open window state.
+    schedule:
+        Optional :class:`~repro.faults.FaultSchedule`.  Events due
+        before ``duration`` are applied at their stream times; later
+        events never fire.  Topology and deployment mutations persist
+        after the run.
+    repair:
+        Callback invoked after each applied fault, typically
+        ``PlanRepairer.repair`` — called as ``repair(context=...)`` and
+        returning a :class:`~repro.sharing.repair.RepairReport`.
+        Without it the topology mutates but the deployment keeps
+        running its pre-fault plan (for what-if measurements only).
+    capture:
+        Optional ``(query_name, result_item)`` hook observing every
+        restructured result delivered to a subscriber — the golden
+        fault-equivalence tests compare these item-for-item.
 
     After :meth:`run`, ``peak_live_items`` holds the maximum number of
     stream items the executor held in flight at any moment — bounded by
@@ -244,6 +364,9 @@ class StreamSimulator:
         duration: float,
         max_items_per_source: Optional[int] = None,
         batch_size: int = 64,
+        schedule: Optional["FaultSchedule"] = None,
+        repair: Optional[Callable[..., object]] = None,
+        capture: Optional[Callable[[str, Element], None]] = None,
     ) -> None:
         if duration <= 0:
             raise ExecutionError("duration must be positive")
@@ -255,26 +378,112 @@ class StreamSimulator:
         self.duration = duration
         self.max_items = max_items_per_source
         self.batch_size = batch_size
+        self.schedule = schedule
+        self.repair = repair
+        self.capture = capture
         self.peak_live_items = 0
 
     # ------------------------------------------------------------------
     def run(self) -> RunMetrics:
         order = self._topological_streams()
+        self._feeds: Dict[str, List[Tuple[str, Callable]]] = {}
         nodes, singles, multis = self._build_plan(order)
         gauge = _Gauge()
         for delivery in multis.values():
             delivery.gauge = gauge  # buffered items count as in-flight
         self._gauge = gauge
-        self._nodes = nodes
+        #: All deliveries in registration order — the accounting order,
+        #: stable across repairs (queries re-registered by a repair keep
+        #: their delivery object, and with it their position and their
+        #: accumulated counters).
+        self._deliveries: Dict[str, object] = {
+            record.name: singles.get(record.name) or multis[record.name]
+            for record in self.deployment.queries.values()
+        }
+        self._retired: List[_RetiredNode] = []
+        self._gates: List[_Gate] = []
+        self._sources = [s.stream_id for s in order if s.is_original]
+        self._produced = {stream_id: 0 for stream_id in self._sources}
+        self._faults_applied = 0
+        self._source_items_lost = 0
+        self._recovery_time_s = 0.0
+        self._queries_repaired = 0
 
-        for stream in order:
-            if stream.is_original:
-                self._pump_source(nodes[stream.stream_id], gauge)
+        if self.schedule:
+            self._run_epochs(gauge)
+        else:
+            for stream in order:
+                if stream.is_original:
+                    self._pump_source(nodes[stream.stream_id], gauge, self.duration)
         for delivery in multis.values():
             delivery.finish()
 
         self.peak_live_items = gauge.peak
-        return self._account(order, nodes, singles, multis)
+        return self._account(self._topological_streams(), nodes)
+
+    # ------------------------------------------------------------------
+    # Fault-scheduled execution
+    # ------------------------------------------------------------------
+    def _run_epochs(self, gauge: _Gauge) -> None:
+        """Pump sources epoch by epoch, applying faults at boundaries.
+
+        Boundaries are the scheduled fault times plus each repair's
+        recovery completion (when its gated deliveries reopen).
+        """
+        events = [e for e in self.schedule.events() if e.time < self.duration]
+        opens: List[Tuple[float, int, _Gate]] = []
+        sequence = 0
+        index = 0
+        while True:
+            next_fault = events[index].time if index < len(events) else math.inf
+            next_open = opens[0][0] if opens else math.inf
+            boundary = min(next_fault, next_open, self.duration)
+            self._pump_all_until(boundary, gauge)
+            if boundary >= self.duration:
+                break
+            # Recovery completions first: a fault striking the instant a
+            # previous recovery ends sees the recovered subscriptions.
+            while opens and opens[0][0] <= boundary:
+                heapq.heappop(opens)[2].open = True
+            while index < len(events) and events[index].time <= boundary:
+                event = events[index]
+                index += 1
+                gate = self._apply_fault(event)
+                if gate is not None and gate.open_at < self.duration:
+                    heapq.heappush(opens, (gate.open_at, sequence, gate))
+                    sequence += 1
+
+    def _pump_all_until(self, until: float, gauge: _Gauge) -> None:
+        for stream_id in self._sources:
+            node = self._nodes.get(stream_id)
+            if node is not None:
+                self._pump_source(node, gauge, until)
+            else:
+                # Source's home super-peer is down: the thin-peer keeps
+                # producing, the items are lost at ingest.
+                self._drain_source(stream_id, until)
+
+    def _apply_fault(self, event) -> Optional[_Gate]:
+        """Mutate the topology, repair the plan, reconcile the executor.
+
+        Returns the recovery gate when it still needs to be opened at a
+        later boundary, else ``None``.
+        """
+        event.apply(self.net)
+        self._faults_applied += 1
+        report = (
+            self.repair(context=event.describe()) if self.repair is not None else None
+        )
+        recovery_s = 0.0
+        if report is not None:
+            recovery_s = report.recovery_time_ms() / 1000.0
+            self._queries_repaired += len(report.repaired_queries)
+        self._recovery_time_s += min(recovery_s, self.duration - event.time)
+        gate = _Gate(open_at=event.time + recovery_s)
+        gate.open = recovery_s <= 0.0
+        self._gates.append(gate)
+        self._reconcile(gate)
+        return None if gate.open else gate
 
     # ------------------------------------------------------------------
     # Plan construction
@@ -313,23 +522,17 @@ class StreamSimulator:
                     nodes[stream_id].stage_path = stage_path
 
         # Subscription consumers.
+        self._nodes = nodes
         singles: Dict[str, _SingleDelivery] = {}
         multis: Dict[str, _MultiDelivery] = {}
         for record in self.deployment.queries.values():
             if len(record.delivered) > 1:
-                delivery = _MultiDelivery(record, _Gauge())
+                delivery: object = _MultiDelivery(record, _Gauge(), self.capture)
                 multis[record.name] = delivery
-                for index, (_, stream_id) in enumerate(record.delivered):
-                    if stream_id in nodes:
-                        nodes[stream_id].deliveries.append(
-                            self._multi_feeder(delivery, index)
-                        )
             else:
-                single = _SingleDelivery(record)
-                singles[record.name] = single
-                for _, stream_id in record.delivered:
-                    if stream_id in nodes:
-                        nodes[stream_id].deliveries.append(single.feed)
+                delivery = _SingleDelivery(record, self.capture)
+                singles[record.name] = delivery
+            self._attach_feeds(record.name, delivery)
         return nodes, singles, multis
 
     @staticmethod
@@ -341,22 +544,192 @@ class StreamSimulator:
 
         return feed
 
+    @staticmethod
+    def _gated(
+        gate: _Gate, feed: Callable[[Sequence[Element]], None]
+    ) -> Callable[[Sequence[Element]], None]:
+        def gated_feed(batch: Sequence[Element]) -> None:
+            if gate.open:
+                feed(batch)
+            else:
+                gate.lost += len(batch)
+
+        return gated_feed
+
+    def _attach_feeds(
+        self, name: str, delivery: object, gated_by: Optional[_Gate] = None
+    ) -> None:
+        """Wire a subscription's feeds onto its delivered stream nodes."""
+        entries = self._feeds.setdefault(name, [])
+        record = delivery.record  # type: ignore[attr-defined]
+        if isinstance(delivery, _MultiDelivery):
+            feeds = [
+                self._multi_feeder(delivery, index)
+                for index in range(len(record.delivered))
+            ]
+        else:
+            feeds = [delivery.feed]  # type: ignore[attr-defined]
+        for feed, (_, stream_id) in zip(feeds, record.delivered):
+            if stream_id not in self._nodes:
+                continue
+            if gated_by is not None:
+                feed = self._gated(gated_by, feed)
+            self._nodes[stream_id].deliveries.append(feed)
+            entries.append((stream_id, feed))
+
+    def _remove_feeds(self, name: str) -> None:
+        for stream_id, feed in self._feeds.pop(name, []):
+            node = self._nodes.get(stream_id)
+            if node is None:
+                continue  # the node itself was retired
+            try:
+                node.deliveries.remove(feed)
+            except ValueError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Plan reconciliation after a repair
+    # ------------------------------------------------------------------
+    def _reconcile(self, gate: _Gate) -> None:
+        """Diff the executor's running plan against the repaired one.
+
+        Streams no longer installed (or replaced by a same-id fresh
+        installation) are retired: their counters are snapshotted, they
+        detach from their parent's relay list or shared-prefix trie
+        (surviving siblings keep their stages and operator state), and
+        orphaned stages are pruned.  Repair-created streams attach with
+        fresh operator state — recovery restarts windows rather than
+        migrating them — and with ``duplicate_base`` pinned so only
+        post-attach parent items are billed as duplication work.
+        """
+        deployment = self.deployment
+        nodes = self._nodes
+
+        stale = {
+            stream_id: node
+            for stream_id, node in nodes.items()
+            if deployment.streams.get(stream_id) is not node.stream
+        }
+        for node in stale.values():
+            self._retired.append(self._snapshot(node))
+        for node in stale.values():
+            self._detach(node)
+        for stream_id in stale:
+            del nodes[stream_id]
+
+        added = [
+            stream
+            for stream in topological_streams(deployment)
+            if stream.stream_id not in nodes
+        ]
+        pipelined: Dict[str, List["InstalledStream"]] = {}
+        for stream in added:
+            node = _StreamNode(stream)
+            node.repair_added = True
+            nodes[stream.stream_id] = node
+            if stream.parent_id is None:
+                continue  # re-installed original (its home rejoined)
+            parent_node = nodes[stream.parent_id]
+            node.duplicate_base = parent_node.produced_count
+            if stream.pipeline:
+                pipelined.setdefault(stream.parent_id, []).append(stream)
+            else:
+                parent_node.relay_children.append(node)
+        # Repair-created pipelines share prefixes among themselves (all
+        # start with fresh state at the same instant) but never join a
+        # surviving trie: that would hand them a sibling's pre-fault
+        # window state, which recovery must restart.
+        for parent_id, children in pipelined.items():
+            parent_node = nodes[parent_id]
+            groups = group_pipelines(
+                [
+                    (child.stream_id, child.content.item_path, child.pipeline)
+                    for child in children
+                ]
+            )
+            parent_node.trie_groups = parent_node.trie_groups + groups
+            for _, _, stage_paths in groups:
+                for stream_id, stage_path in stage_paths.items():
+                    nodes[stream_id].stage_path = stage_path
+
+        # Re-wire subscriptions the repair touched; silence the ones it
+        # had to park (their delivery objects stay for accounting).
+        for name, delivery in self._deliveries.items():
+            record = deployment.queries.get(name)
+            if record is None:
+                self._remove_feeds(name)
+                continue
+            if delivery.record is record:  # type: ignore[attr-defined]
+                continue  # untouched by this repair
+            self._remove_feeds(name)
+            delivery.record = record  # type: ignore[attr-defined]
+            self._attach_feeds(name, delivery, gated_by=gate)
+
+    def _snapshot(self, node: _StreamNode) -> _RetiredNode:
+        stream = node.stream
+        parent_node = (
+            self._nodes.get(stream.parent_id) if stream.parent_id is not None else None
+        )
+        duplicate_count = (
+            parent_node.produced_count - node.duplicate_base
+            if parent_node is not None
+            else 0
+        )
+        return _RetiredNode(
+            stream=stream,
+            produced_count=node.produced_count,
+            produced_bytes=node.produced_bytes,
+            duplicate_count=duplicate_count,
+            stage_counts=[
+                (
+                    stage.operator.kind,
+                    getattr(getattr(stage.operator, "spec", None), "name", None),
+                    stage.input_count,
+                )
+                for stage in node.stage_path
+            ],
+            repair_added=node.repair_added,
+        )
+
+    def _detach(self, node: _StreamNode) -> None:
+        stream = node.stream
+        if stream.parent_id is None:
+            return
+        parent = self._nodes.get(stream.parent_id)
+        if parent is None:
+            return  # parent retired in the same pass; nothing to unlink
+        if node in parent.relay_children:
+            parent.relay_children.remove(node)
+            return
+        for _, trie, stage_paths in parent.trie_groups:
+            stage_path = stage_paths.pop(stream.stream_id, None)
+            if stage_path is None:
+                continue
+            terminal = stage_path[-1]
+            if stream.stream_id in terminal.streams:
+                terminal.streams.remove(stream.stream_id)
+            _prune_stages(trie.roots)
+            break
+        parent.trie_groups = [
+            group for group in parent.trie_groups if group[1].roots
+        ]
+
     # ------------------------------------------------------------------
     # Streaming execution
     # ------------------------------------------------------------------
-    def _pump_source(self, node: _StreamNode, gauge: _Gauge) -> None:
+    def _pump_source(self, node: _StreamNode, gauge: _Gauge, until: float) -> None:
         stream = node.stream
         generator = self.generators.get(stream.stream_id)
         if generator is None:
             raise ExecutionError(
                 f"no generator for original stream {stream.stream_id!r}"
             )
-        produced = 0
+        produced = self._produced[stream.stream_id]
         batch_size = self.batch_size
-        while generator.clock < self.duration:
+        while generator.clock < until:
             batch: List[Element] = []
             while (
-                generator.clock < self.duration
+                generator.clock < until
                 and len(batch) < batch_size
                 and (self.max_items is None or produced + len(batch) < self.max_items)
             ):
@@ -367,6 +740,21 @@ class StreamSimulator:
             self._pump(node, batch, gauge)
             if self.max_items is not None and produced >= self.max_items:
                 break
+        self._produced[stream.stream_id] = produced
+
+    def _drain_source(self, stream_id: str, until: float) -> None:
+        """Advance a down source's generator, counting its items lost."""
+        generator = self.generators.get(stream_id)
+        if generator is None:
+            return
+        produced = self._produced[stream_id]
+        while generator.clock < until and (
+            self.max_items is None or produced < self.max_items
+        ):
+            generator.next_item()
+            produced += 1
+            self._source_items_lost += 1
+        self._produced[stream_id] = produced
 
     def _pump(
         self, node: _StreamNode, batch: List[Element], gauge: _Gauge
@@ -391,26 +779,30 @@ class StreamSimulator:
     # Metrics replay
     # ------------------------------------------------------------------
     def _account(
-        self,
-        order: List["InstalledStream"],
-        nodes: Dict[str, _StreamNode],
-        singles: Dict[str, _SingleDelivery],
-        multis: Dict[str, _MultiDelivery],
+        self, order: List["InstalledStream"], nodes: Dict[str, _StreamNode]
     ) -> RunMetrics:
         """Replay the accumulated counters into :class:`RunMetrics` in
         the exact accumulation order of the materializing executor, so
-        both produce floating-point-identical metrics."""
+        fault-free runs produce floating-point-identical metrics.
+
+        Streams retired by plan repair are replayed first, from their
+        snapshots; peer and link lookups include removed topology
+        entities, since retired routes may cross a crashed peer."""
         metrics = RunMetrics(duration=self.duration)
+        for retired in self._retired:
+            self._account_retired(retired, metrics)
         for stream in order:
             node = nodes[stream.stream_id]
-            peer = self.net.super_peer(stream.origin_node)
+            peer = self.net.super_peer(stream.origin_node, include_removed=True)
             if stream.is_original:
                 metrics.count_generated(stream.stream_id, node.produced_count)
                 ingest = base_load("ingest") * peer.pindex
                 metrics.add_peer_work(stream.origin_node, ingest * node.produced_count)
             else:
                 assert stream.parent_id is not None
-                parent_count = nodes[stream.parent_id].produced_count
+                parent_count = (
+                    nodes[stream.parent_id].produced_count - node.duplicate_base
+                )
                 duplicate = base_load("duplicate") * peer.pindex
                 metrics.add_peer_work(stream.origin_node, duplicate * parent_count)
                 for stage in node.stage_path:
@@ -422,8 +814,47 @@ class StreamSimulator:
                     )
                     metrics.add_peer_work(stream.origin_node, work)
             self._account_transport(stream, node, metrics)
-        self._account_postprocess(metrics, singles, multis)
+        self._account_postprocess(metrics)
+        metrics.faults_applied = self._faults_applied
+        metrics.items_lost = self._source_items_lost + sum(
+            gate.lost for gate in self._gates
+        )
+        metrics.recovery_time_s = self._recovery_time_s
+        metrics.queries_repaired = self._queries_repaired
+        metrics.queries_lost = sum(
+            1 for name in self._deliveries if name not in self.deployment.queries
+        )
         return metrics
+
+    def _account_retired(self, retired: _RetiredNode, metrics: RunMetrics) -> None:
+        stream = retired.stream
+        peer = self.net.super_peer(stream.origin_node, include_removed=True)
+        if stream.is_original:
+            metrics.count_generated(stream.stream_id, retired.produced_count)
+            ingest = base_load("ingest") * peer.pindex
+            metrics.add_peer_work(stream.origin_node, ingest * retired.produced_count)
+        else:
+            duplicate = base_load("duplicate") * peer.pindex
+            metrics.add_peer_work(
+                stream.origin_node, duplicate * retired.duplicate_count
+            )
+            for kind, udf_name, inputs in retired.stage_counts:
+                work = base_load(kind, udf_name) * peer.pindex * inputs
+                metrics.add_peer_work(stream.origin_node, work)
+        hops = stream.links()
+        if not hops or not retired.produced_count:
+            return
+        total_bits = float(retired.produced_bytes * 8)
+        for a, b in hops:
+            metrics.add_link_bits(
+                self.net.link(a, b, include_removed=True), total_bits
+            )
+        for sender, _ in hops:
+            sender_peer = self.net.super_peer(sender, include_removed=True)
+            work = base_load("transfer") * sender_peer.pindex * retired.produced_count
+            metrics.add_peer_work(sender, work)
+        if retired.repair_added:
+            metrics.rerouted_traffic_bits += total_bits * len(hops)
 
     def _account_transport(
         self, stream: "InstalledStream", node: _StreamNode, metrics: RunMetrics
@@ -433,35 +864,37 @@ class StreamSimulator:
             return
         total_bits = float(node.produced_bytes * 8)
         for a, b in hops:
-            metrics.add_link_bits(self.net.link(a, b), total_bits)
+            metrics.add_link_bits(
+                self.net.link(a, b, include_removed=True), total_bits
+            )
         # Forwarding work: the sender side of every hop touches each item.
         for sender, _ in hops:
-            peer = self.net.super_peer(sender)
+            peer = self.net.super_peer(sender, include_removed=True)
             work = base_load("transfer") * peer.pindex * node.produced_count
             metrics.add_peer_work(sender, work)
+        if node.repair_added:
+            metrics.rerouted_traffic_bits += total_bits * len(hops)
 
-    def _account_postprocess(
-        self,
-        metrics: RunMetrics,
-        singles: Dict[str, _SingleDelivery],
-        multis: Dict[str, _MultiDelivery],
-    ) -> None:
-        for record in self.deployment.queries.values():
-            peer = self.net.super_peer(record.subscriber_node)
+    def _account_postprocess(self, metrics: RunMetrics) -> None:
+        # Iterates the delivery registry, not ``deployment.queries``:
+        # the registry keeps registration order across repairs and still
+        # holds subscriptions that ended the run torn down (their
+        # pre-fault deliveries were real work and must be counted).
+        for delivery in self._deliveries.values():
+            record = delivery.record  # type: ignore[attr-defined]
+            peer = self.net.super_peer(record.subscriber_node, include_removed=True)
             work_per_item = base_load("restructure") * peer.pindex
-            if len(record.delivered) > 1:
-                delivery = multis[record.name]
+            if isinstance(delivery, _MultiDelivery):
                 metrics.add_peer_work(
                     record.subscriber_node, work_per_item * delivery.total_inputs
                 )
                 metrics.count_delivery(record.name, delivery.results)
                 continue
-            single = singles[record.name]
             for _ in record.delivered:
                 metrics.add_peer_work(
-                    record.subscriber_node, work_per_item * single.inputs
+                    record.subscriber_node, work_per_item * delivery.inputs
                 )
-                metrics.count_delivery(record.name, single.results)
+                metrics.count_delivery(record.name, delivery.results)
 
 
 # ----------------------------------------------------------------------

@@ -26,6 +26,24 @@ class RunMetrics:
     items_delivered: Dict[str, int] = field(default_factory=dict)
     items_generated: Dict[str, int] = field(default_factory=dict)
 
+    # -- degradation under churn (all zero for fault-free runs) --------
+    #: Fault events applied during the run.
+    faults_applied: int = 0
+    #: Items dropped because of faults: source items generated while the
+    #: source's home super-peer was down, plus delivered items dropped
+    #: while their subscription's recovery was still in progress.
+    items_lost: int = 0
+    #: Total stream time spent recovering (per fault: the slowest
+    #: re-registration, capped at the remaining run horizon).
+    recovery_time_s: float = 0.0
+    #: Traffic carried by repair-created streams — the extra re-routing
+    #: cost of recovering from the faults.
+    rerouted_traffic_bits: float = 0.0
+    #: Subscriptions successfully re-registered after faults.
+    queries_repaired: int = 0
+    #: Subscriptions still torn down (pending repair) at the end.
+    queries_lost: int = 0
+
     # ------------------------------------------------------------------
     # Accumulation
     # ------------------------------------------------------------------
@@ -63,6 +81,19 @@ class RunMetrics:
 
     def total_mbit(self) -> float:
         return sum(self.link_bits.values()) / 1_000_000.0
+
+    def rerouted_mbit(self) -> float:
+        """Traffic carried by repair-created streams, in MBit."""
+        return self.rerouted_traffic_bits / 1_000_000.0
+
+    def recovery_overhead(self) -> float:
+        """Re-routing traffic as a fraction of all transmitted traffic.
+
+        The churn benchmark's regression gate watches this: it grows
+        when plan repair starts choosing needlessly long detours.
+        """
+        total = sum(self.link_bits.values())
+        return self.rerouted_traffic_bits / total if total else 0.0
 
     def cpu_series(self, net: Network) -> List[Tuple[str, float]]:
         return [

@@ -1,0 +1,23 @@
+"""Deterministic fault injection for the super-peer backbone."""
+
+from .schedule import (
+    FaultError,
+    FaultEvent,
+    FaultSchedule,
+    LinkFailure,
+    LinkRestore,
+    SuperPeerCrash,
+    SuperPeerRejoin,
+    single_crash,
+)
+
+__all__ = [
+    "FaultError",
+    "FaultEvent",
+    "FaultSchedule",
+    "LinkFailure",
+    "LinkRestore",
+    "SuperPeerCrash",
+    "SuperPeerRejoin",
+    "single_crash",
+]

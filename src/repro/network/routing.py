@@ -20,13 +20,37 @@ class NoRouteError(TopologyError):
     """Raised when no path exists between two super-peers."""
 
 
+def _describe_endpoint(net: Network, name: str) -> str:
+    """``'SP3' (removed from the backbone)`` or ``'SP3' (never existed)``."""
+    if name in net.removed_super_peer_names():
+        return f"{name!r} (removed from the backbone)"
+    return f"{name!r} (never existed)"
+
+
+def _churn_note(net: Network) -> str:
+    """A parenthetical listing current removals, or ``""`` if none."""
+    parts = []
+    removed_peers = net.removed_super_peer_names()
+    if removed_peers:
+        parts.append(f"removed super-peers: {', '.join(sorted(removed_peers))}")
+    removed_links = net.removed_links()
+    if removed_links:
+        parts.append(
+            f"removed links: {', '.join(sorted(str(link) for link in removed_links))}"
+        )
+    return f" ({'; '.join(parts)})" if parts else ""
+
+
 def shortest_path(net: Network, source: str, target: str) -> List[str]:
     """Shortest node sequence from ``source`` to ``target`` (inclusive).
 
     Raises :class:`NoRouteError` when the nodes are disconnected.
     """
-    if source not in net or target not in net:
-        raise TopologyError(f"unknown endpoint: {source!r} or {target!r}")
+    missing = [name for name in (source, target) if name not in net]
+    if missing:
+        detail = ", ".join(_describe_endpoint(net, name) for name in missing)
+        label = "endpoints" if len(missing) > 1 else "endpoint"
+        raise TopologyError(f"unknown {label}: {detail}")
     if source == target:
         return [source]
     parents: Dict[str, str] = {}
@@ -42,7 +66,7 @@ def shortest_path(net: Network, source: str, target: str) -> List[str]:
                 return _reconstruct(parents, source, target)
             seen.add(neighbor)
             queue.append(neighbor)
-    raise NoRouteError(f"no route from {source} to {target}")
+    raise NoRouteError(f"no route from {source} to {target}{_churn_note(net)}")
 
 
 def _reconstruct(parents: Dict[str, str], source: str, target: str) -> List[str]:
@@ -80,5 +104,7 @@ def eccentricity(net: Network, source: str) -> int:
     """Largest hop distance from ``source`` to any super-peer."""
     distances = all_distances(net, source)
     if len(distances) != len(net):
-        raise NoRouteError(f"{source} cannot reach the whole backbone")
+        raise NoRouteError(
+            f"{source} cannot reach the whole backbone{_churn_note(net)}"
+        )
     return max(distances.values())

@@ -92,13 +92,34 @@ class Link:
 
 
 class Network:
-    """The super-peer backbone plus registered thin-peers."""
+    """The super-peer backbone plus registered thin-peers.
+
+    Peers "may connect to and disconnect from the network at any time"
+    (Section 1), so besides construction the topology supports *churn*:
+    :meth:`remove_super_peer` / :meth:`remove_link` model crashes and
+    connection failures, :meth:`restore_super_peer` /
+    :meth:`restore_link` model rejoins.  Removed entities are stashed so
+    tear-down bookkeeping (which must release commitments estimated
+    against the old topology) can still resolve them via the
+    ``include_removed`` lookups, and so a later rejoin restores the
+    exact same capacities and bandwidths.  Every mutation bumps
+    :attr:`version`, invalidating any routing state derived from an
+    earlier topology.
+    """
 
     def __init__(self) -> None:
         self._peers: Dict[str, SuperPeer] = {}
         self._thin_peers: Dict[str, ThinPeer] = {}
         self._links: Dict[Tuple[str, str], Link] = {}
         self._adjacency: Dict[str, List[str]] = {}
+        self._removed_peers: Dict[str, SuperPeer] = {}
+        self._removed_links: Dict[Tuple[str, str], Link] = {}
+        #: Link keys torn down by a peer crash, keyed by the peer whose
+        #: restoration should bring them back.
+        self._crash_links: Dict[str, List[Tuple[str, str]]] = {}
+        #: Monotonic counter bumped on every topology mutation; holders
+        #: of derived routing state compare against it to detect staleness.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -108,6 +129,10 @@ class Network:
     ) -> SuperPeer:
         if name in self._peers:
             raise TopologyError(f"duplicate super-peer {name}")
+        if name in self._removed_peers:
+            raise TopologyError(
+                f"super-peer {name} is removed; use restore_super_peer"
+            )
         peer = SuperPeer(name, capacity, pindex)
         self._peers[name] = peer
         self._adjacency[name] = []
@@ -129,18 +154,121 @@ class Network:
         link = Link(a, b, bandwidth)
         if link.ends in self._links:
             raise TopologyError(f"duplicate link {link}")
+        if link.ends in self._removed_links:
+            raise TopologyError(f"link {link} is removed; use restore_link")
         self._links[link.ends] = link
         self._adjacency[a].append(b)
         self._adjacency[b].append(a)
         return link
 
     # ------------------------------------------------------------------
+    # Churn (crashes, connection failures, rejoins)
+    # ------------------------------------------------------------------
+    def remove_super_peer(self, name: str) -> List[Link]:
+        """Crash a super-peer: detach it and every incident link.
+
+        Returns the links torn down with the peer.  The peer's record
+        (and its links') are stashed for :meth:`restore_super_peer`;
+        thin-peers registered at the crashed super-peer stay registered
+        but are unreachable until it rejoins.
+        """
+        peer = self._peers.pop(name, None)
+        if peer is None:
+            if name in self._removed_peers:
+                raise TopologyError(f"super-peer {name} is already removed")
+            raise TopologyError(f"unknown super-peer {name}")
+        self._removed_peers[name] = peer
+        torn_down: List[Link] = []
+        for neighbor in self._adjacency.pop(name):
+            key = (name, neighbor) if name < neighbor else (neighbor, name)
+            link = self._links.pop(key, None)
+            if link is None:
+                continue  # already failed independently
+            self._adjacency[neighbor].remove(name)
+            self._removed_links[key] = link
+            self._crash_links.setdefault(name, []).append(key)
+            torn_down.append(link)
+        self.version += 1
+        return torn_down
+
+    def restore_super_peer(self, name: str) -> List[Link]:
+        """Rejoin a crashed super-peer with its original capacity.
+
+        Links torn down by the crash come back with it — except those
+        whose other endpoint is still removed; these are re-queued to
+        return when *that* peer rejoins.  Returns the restored links.
+        """
+        peer = self._removed_peers.pop(name, None)
+        if peer is None:
+            raise TopologyError(f"super-peer {name} is not removed")
+        self._peers[name] = peer
+        self._adjacency[name] = []
+        restored: List[Link] = []
+        for key in self._crash_links.pop(name, []):
+            link = self._removed_links.get(key)
+            if link is None:
+                continue  # explicitly restored or permanently failed
+            other = link.other(name)
+            if other not in self._peers:
+                # Hand the link over to the still-crashed endpoint.
+                self._crash_links.setdefault(other, []).append(key)
+                continue
+            del self._removed_links[key]
+            self._links[key] = link
+            self._adjacency[link.a].append(link.b)
+            self._adjacency[link.b].append(link.a)
+            restored.append(link)
+        self.version += 1
+        return restored
+
+    def remove_link(self, a: str, b: str) -> Link:
+        """Fail one backbone connection (both super-peers stay up)."""
+        key = (a, b) if a < b else (b, a)
+        link = self._links.pop(key, None)
+        if link is None:
+            if key in self._removed_links:
+                raise TopologyError(f"link {key[0]}-{key[1]} is already removed")
+            raise TopologyError(f"no link between {a} and {b}")
+        self._adjacency[link.a].remove(link.b)
+        self._adjacency[link.b].remove(link.a)
+        self._removed_links[key] = link
+        self.version += 1
+        return link
+
+    def restore_link(self, a: str, b: str) -> Link:
+        """Bring a failed connection back (both endpoints must be live)."""
+        key = (a, b) if a < b else (b, a)
+        link = self._removed_links.get(key)
+        if link is None:
+            raise TopologyError(f"link {key[0]}-{key[1]} is not removed")
+        for end in key:
+            if end not in self._peers:
+                raise TopologyError(
+                    f"cannot restore link {key[0]}-{key[1]}: "
+                    f"super-peer {end} is still removed"
+                )
+        del self._removed_links[key]
+        self._links[key] = link
+        self._adjacency[link.a].append(link.b)
+        self._adjacency[link.b].append(link.a)
+        self.version += 1
+        return link
+
+    def removed_super_peer_names(self) -> List[str]:
+        return list(self._removed_peers)
+
+    def removed_links(self) -> List[Link]:
+        return list(self._removed_links.values())
+
+    # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
-    def super_peer(self, name: str) -> SuperPeer:
+    def super_peer(self, name: str, include_removed: bool = False) -> SuperPeer:
         try:
             return self._peers[name]
         except KeyError:
+            if include_removed and name in self._removed_peers:
+                return self._removed_peers[name]
             raise TopologyError(f"unknown super-peer {name}") from None
 
     def thin_peer(self, name: str) -> ThinPeer:
@@ -155,11 +283,13 @@ class Network:
             return peer_name
         return self.thin_peer(peer_name).super_peer
 
-    def link(self, a: str, b: str) -> Link:
+    def link(self, a: str, b: str, include_removed: bool = False) -> Link:
         key = (a, b) if a < b else (b, a)
         try:
             return self._links[key]
         except KeyError:
+            if include_removed and key in self._removed_links:
+                return self._removed_links[key]
             raise TopologyError(f"no link between {a} and {b}") from None
 
     def has_link(self, a: str, b: str) -> bool:

@@ -13,6 +13,7 @@ from .subscribe import RegistrationResult, Subscriber
 from .system import StreamGlobe
 from .deregister import Deregistrar, DeregistrationError, live_stream_ids
 from .explain import explain_deployment, explain_registration
+from .repair import PlanRepairer, RepairReport
 from .export import deployment_to_dict, deployment_to_json
 from .validate import DeploymentInvariantError, check_deployment, validate_deployment
 from .widening import WideningAction, WideningPlanner, widen_content
@@ -22,9 +23,11 @@ __all__ = [
     "EvaluationPlan",
     "InputPlan",
     "InstalledStream",
+    "PlanRepairer",
     "Planner",
     "PlanningError",
     "RegisteredQuery",
+    "RepairReport",
     "RegistrationResult",
     "STRATEGIES",
     "StrategyRegistrar",

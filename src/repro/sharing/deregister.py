@@ -100,10 +100,8 @@ class Deregistrar:
             for stream in dead:
                 self._release_stream(deployment, stream, release)
             for stream in dead:
-                removed.append(stream.stream_id)
-                del deployment.streams[stream.stream_id]
-                for node in stream.route:
-                    deployment._available[node].remove(stream.stream_id)
+                if deployment.release_stream(stream.stream_id):
+                    removed.append(stream.stream_id)
 
     def _release_stream(
         self, deployment: Deployment, stream: InstalledStream, release: PlanEffects
@@ -113,9 +111,12 @@ class Deregistrar:
         catalog = self.planner.catalog
         rate = estimate_stream_rate(stream.content, catalog)
 
-        # Route traffic and forwarding work.
+        # Route traffic and forwarding work.  Lookups include removed
+        # peers/links: plan repair tears down streams whose routes
+        # crossed a crashed peer, and their commitments — estimated
+        # against the pre-fault topology — must still be released.
         for a, b in stream.links():
-            release.add_link(net.link(a, b), rate.bits_per_second)
+            release.add_link(net.link(a, b, include_removed=True), rate.bits_per_second)
         for sender in stream.route[:-1]:
             self._charge(release, sender, "transfer", rate.frequency)
 
@@ -127,7 +128,14 @@ class Deregistrar:
         )
         if parent is not None:
             parent_rate = estimate_stream_rate(parent.content, catalog)
-            self._charge(release, stream.origin_node, "duplicate", parent_rate.frequency)
+            # The planner charges one tap duplication per input chain, at
+            # the node where the chain taps the reused stream.  Only the
+            # chain's first stream pays it back: a stream consuming its
+            # own plan's relay does not duplicate again.
+            if parent.is_original or parent.query != stream.query:
+                self._charge(
+                    release, stream.origin_node, "duplicate", parent_rate.frequency
+                )
             frequency = parent_rate.frequency
             for spec in stream.pipeline:
                 self._charge(release, stream.origin_node, spec.kind, frequency)
@@ -144,5 +152,5 @@ class Deregistrar:
     def _charge(
         self, effects: PlanEffects, node: str, kind: str, frequency: float
     ) -> None:
-        peer = self.planner.net.super_peer(node)
+        peer = self.planner.net.super_peer(node, include_removed=True)
         effects.add_peer(node, base_load(kind) * peer.pindex * frequency)

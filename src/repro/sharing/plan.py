@@ -182,7 +182,32 @@ class Deployment:
             )
         self.streams[stream.stream_id] = stream
         for node in stream.route:
-            self._available[node].append(stream.stream_id)
+            # setdefault: a super-peer may have rejoined the topology
+            # after this deployment was constructed.
+            self._available.setdefault(node, []).append(stream.stream_id)
+
+    def release_stream(self, stream_id: str) -> bool:
+        """Uninstall one stream; idempotent and atomic.
+
+        Removes the stream record and every availability-index entry
+        its route created.  Returns ``True`` if the stream was
+        installed, ``False`` if it was already gone (releasing twice —
+        e.g. once through deregistration and once through plan repair —
+        is a no-op, never an error, and never leaves the index
+        half-mutated).
+        """
+        stream = self.streams.pop(stream_id, None)
+        if stream is None:
+            return False
+        for node in stream.route:
+            bucket = self._available.get(node)
+            if bucket is None:
+                continue
+            try:
+                bucket.remove(stream_id)
+            except ValueError:
+                pass  # index entry already gone; keep the removal atomic
+        return True
 
     def register_query(self, record: RegisteredQuery) -> None:
         if record.name in self.queries:

@@ -1,0 +1,255 @@
+"""Plan repair after backbone faults.
+
+When a super-peer crashes or a connection fails, every installed stream
+whose route crossed the lost node or link stops flowing, and every
+subscription fed (directly or transitively) by such a stream stops
+receiving results.  :class:`PlanRepairer` restores the deployment to a
+consistent, verifiable state against the *surviving* topology:
+
+1. **damage analysis** — a stream is damaged when any node or link on
+   its route is gone; descendants of damaged streams are damaged
+   transitively (their input dried up).  This is deliberately
+   conservative: a child tapping its parent at the origin survives a
+   break further downstream in reality, but tearing it down and letting
+   re-registration rediscover the (still installed) surviving prefix
+   keeps the analysis simple and the repaired state verifiable;
+2. **tear-down** — affected subscriptions are removed and their streams
+   garbage-collected through the deregistration machinery, releasing
+   every estimated commitment (including those on now-removed peers and
+   links, via the topology's removed-entity stash);
+3. **re-registration** — each affected subscription is registered
+   afresh via the configured strategy, exactly as a new query would be:
+   Algorithm 1 searches the surviving topology and shares surviving
+   streams.  Window state is *not* migrated — recovered windowed
+   queries restart their windows (DESIGN.md §8);
+4. **verification** — with ``verify=True`` the PR 1 plan verifier runs
+   on the repaired deployment and raises on any violated invariant.
+
+Subscriptions that cannot be repaired *yet* — their subscriber's or
+their source's super-peer is down, or the backbone is partitioned —
+are parked as *pending* and retried on every later repair (i.e. after
+a rejoin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Set, Tuple
+
+from ..costmodel import PlanEffects, estimate_stream_rate
+from ..network.topology import Network, TopologyError
+from ..properties import raw_stream_properties
+from .deregister import Deregistrar
+from .plan import Deployment, InstalledStream, RegisteredQuery
+from .planner import PlanningError
+from .subscribe import RegistrationResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .system import StreamGlobe
+
+
+@dataclass
+class RepairReport:
+    """What one repair pass found, tore down, and rebuilt."""
+
+    context: str
+    damaged_streams: List[str] = field(default_factory=list)
+    removed_streams: List[str] = field(default_factory=list)
+    torn_down_queries: List[str] = field(default_factory=list)
+    reregistered: List[RegistrationResult] = field(default_factory=list)
+    #: Subscriptions that could not be re-registered: ``(query, reason)``.
+    pending: List[Tuple[str, str]] = field(default_factory=list)
+    reinstalled_sources: List[str] = field(default_factory=list)
+
+    @property
+    def repaired_queries(self) -> List[str]:
+        return [r.query for r in self.reregistered if r.accepted]
+
+    def recovery_time_ms(self) -> float:
+        """Stream time until the slowest re-registration completed.
+
+        Re-registrations run concurrently on different super-peers, so
+        recovery takes as long as the slowest one (the same latency
+        model that produced Table 1's registration times).
+        """
+        return max(
+            (r.registration_ms for r in self.reregistered if r.accepted),
+            default=0.0,
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.context}: {len(self.damaged_streams)} damaged stream(s), "
+            f"{len(self.torn_down_queries)} quer(ies) torn down, "
+            f"{len(self.repaired_queries)} re-registered, "
+            f"{len(self.pending)} pending"
+        )
+
+
+class PlanRepairer:
+    """Repairs a :class:`StreamGlobe` deployment after topology faults.
+
+    Stateful: subscriptions that cannot be re-registered against the
+    current topology are remembered and retried on every subsequent
+    :meth:`repair` call, so a rejoin heals them automatically.
+    """
+
+    def __init__(self, system: "StreamGlobe") -> None:
+        self.system = system
+        self._pending: Dict[str, Tuple[RegisteredQuery, str]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> List[Tuple[str, str]]:
+        """Currently unrepairable subscriptions as ``(query, reason)``."""
+        return [(name, reason) for name, (_, reason) in sorted(self._pending.items())]
+
+    # ------------------------------------------------------------------
+    def repair(self, context: str = "topology fault") -> RepairReport:
+        """One repair pass against the system's current topology."""
+        system = self.system
+        deployment = system.deployment
+        net = system.net
+        report = RepairReport(context=context)
+        deregistrar = Deregistrar(system.planner)
+
+        self._reinstall_sources(deployment, net, report)
+
+        damaged = self._damaged_closure(deployment, net)
+        report.damaged_streams = sorted(damaged)
+
+        # Tear down every subscription whose subscriber vanished or
+        # whose delivery chain touches a damaged stream.
+        affected: Dict[str, RegisteredQuery] = {}
+        for name, record in list(deployment.queries.items()):
+            if record.subscriber_node not in net or any(
+                stream_id not in deployment.streams or stream_id in damaged
+                for _, stream_id in record.delivered
+            ):
+                affected[name] = deployment.queries.pop(name)
+        report.torn_down_queries = sorted(affected)
+
+        # Release the torn-down subscriptions' post-processing load,
+        # then sweep: with their consumers gone, damaged derived
+        # streams are dead and the (idempotent) garbage collection
+        # releases their commitments — estimated against the pre-fault
+        # topology, hence the removed-entity lookups in Deregistrar.
+        release = PlanEffects()
+        for record in affected.values():
+            for _, stream_id in record.delivered:
+                stream = deployment.streams.get(stream_id)
+                if stream is None:
+                    continue
+                rate = estimate_stream_rate(stream.content, system.catalog)
+                deregistrar._charge(
+                    release, record.subscriber_node, "restructure", rate.frequency
+                )
+        report.removed_streams.extend(
+            deregistrar._collect_garbage(deployment, release)
+        )
+        # Damaged *original* streams (their source's home crashed) are
+        # never garbage — drop them explicitly, and only after the
+        # sweep: releasing a dead derived stream looks up its parent's
+        # rate, so the original must still be installed then.  The
+        # originals themselves carry no committed effects (single-node
+        # route, no pipeline).
+        for stream_id in sorted(damaged):
+            stream = deployment.streams.get(stream_id)
+            if stream is not None and stream.is_original:
+                deployment.release_stream(stream_id)
+                report.removed_streams.append(stream_id)
+        deregistrar._apply_release(deployment, release)
+
+        # Re-registration: previously pending subscriptions first (they
+        # have waited longest), then this fault's, each in name order.
+        candidates: List[Tuple[str, RegisteredQuery]] = [
+            (name, self._pending.pop(name)[0]) for name in sorted(self._pending)
+        ]
+        candidates.extend(sorted(affected.items()))
+        for name, record in candidates:
+            self._reregister(deployment, net, name, record, report)
+        report.pending = self.pending
+
+        system._preflight(f"after plan repair ({context})")
+        return report
+
+    # ------------------------------------------------------------------
+    def _reinstall_sources(
+        self, deployment: Deployment, net: Network, report: RepairReport
+    ) -> None:
+        """Re-install original streams whose home super-peer rejoined."""
+        for name, source in self.system.sources.items():
+            if name in deployment.streams or source.home_node not in net:
+                continue
+            deployment.install_stream(
+                InstalledStream(
+                    stream_id=name,
+                    content=raw_stream_properties(
+                        name, source.item_path
+                    ).single_input(),
+                    origin_node=source.home_node,
+                    route=(source.home_node,),
+                )
+            )
+            report.reinstalled_sources.append(name)
+
+    @staticmethod
+    def _damaged_closure(deployment: Deployment, net: Network) -> Set[str]:
+        damaged: Set[str] = set()
+        for stream in deployment.streams.values():
+            if any(node not in net for node in stream.route) or any(
+                not net.has_link(a, b) for a, b in stream.links()
+            ):
+                damaged.add(stream.stream_id)
+        # Descendants of damaged streams lost their input.
+        changed = True
+        while changed:
+            changed = False
+            for stream in deployment.streams.values():
+                if (
+                    stream.stream_id not in damaged
+                    and stream.parent_id is not None
+                    and stream.parent_id in damaged
+                ):
+                    damaged.add(stream.stream_id)
+                    changed = True
+        return damaged
+
+    def _reregister(
+        self,
+        deployment: Deployment,
+        net: Network,
+        name: str,
+        record: RegisteredQuery,
+        report: RepairReport,
+    ) -> None:
+        if record.subscriber_node not in net:
+            self._park(
+                record, f"subscriber super-peer {record.subscriber_node} is removed"
+            )
+            return
+        missing = [
+            sp.stream
+            for sp in record.properties.input_streams()
+            if sp.stream not in deployment.streams
+        ]
+        if missing:
+            self._park(
+                record,
+                f"original stream(s) unavailable: {', '.join(sorted(missing))}",
+            )
+            return
+        try:
+            result = self.system.registrar.register(
+                deployment, record.properties, record.analyzed, record.subscriber_node
+            )
+        except (PlanningError, TopologyError) as exc:
+            self._park(record, str(exc))
+            return
+        if not result.accepted:
+            self._park(record, result.rejection_reason or "registration rejected")
+            return
+        report.reregistered.append(result)
+
+    def _park(self, record: RegisteredQuery, reason: str) -> None:
+        self._pending[record.name] = (record, reason)

@@ -79,6 +79,7 @@ class StreamGlobe:
         self.deployment = Deployment(net)
         self.sources: Dict[str, SourceRegistration] = {}
         self.results: List[RegistrationResult] = []
+        self._repairer = None  # lazily created PlanRepairer
 
     # ------------------------------------------------------------------
     # Stream registration
@@ -281,26 +282,71 @@ class StreamGlobe:
         return Deregistrar(self.planner).deregister(self.deployment, name)
 
     # ------------------------------------------------------------------
+    # Fault handling and plan repair
+    # ------------------------------------------------------------------
+    def plan_repairer(self):
+        """The system's persistent :class:`~repro.sharing.repair.PlanRepairer`.
+
+        Persistent so subscriptions parked as pending by one fault are
+        retried after a later rejoin.
+        """
+        from .repair import PlanRepairer
+
+        if self._repairer is None:
+            self._repairer = PlanRepairer(self)
+        return self._repairer
+
+    def apply_fault(self, event):
+        """Apply one :class:`~repro.faults.FaultEvent` and repair the plan.
+
+        Mutates the topology, tears down every affected stream and
+        subscription, re-registers what the surviving topology can
+        still serve, and (with ``verify=True``) verifies the repaired
+        deployment.  Returns the :class:`~repro.sharing.repair.RepairReport`.
+        """
+        event.apply(self.net)
+        return self.plan_repairer().repair(context=event.describe())
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(
-        self, duration: float, max_items_per_source: Optional[int] = None
+        self,
+        duration: float,
+        max_items_per_source: Optional[int] = None,
+        faults=None,
+        capture=None,
     ) -> RunMetrics:
         """Execute the deployed network for ``duration`` virtual seconds.
 
         Every call replays the sources from fresh, identically seeded
         generators, so repeated runs are bit-for-bit reproducible.
+
+        ``faults`` — an optional :class:`~repro.faults.FaultSchedule`.
+        Scheduled events are applied at their simulated times; after
+        each one the plan repairer rebuilds affected subscriptions and
+        the run continues on the surviving topology, with degradation
+        (items lost, recovery time, re-routed traffic) reported in the
+        returned :class:`RunMetrics`.  Topology and deployment changes
+        persist after the run — churn is real state, not a what-if.
+
+        ``capture`` — optional ``(query_name, result_item)`` hook
+        observing every restructured result as it is delivered.
         """
         self._preflight("before execution")
         generators = {
             name: source.generator_factory() for name, source in self.sources.items()
         }
+        repair = self.plan_repairer().repair if faults else None
         simulator = StreamSimulator(
             self.net,
             self.deployment,
             generators,
             duration,
             max_items_per_source=max_items_per_source,
+            schedule=faults,
+            repair=repair,
+            capture=capture,
         )
         return simulator.run()
 

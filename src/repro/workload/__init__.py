@@ -10,7 +10,15 @@ from .photons import (
     VELA_REGION,
     average_item_size,
 )
-from .scenarios import QuerySpec, Scenario, SourceSpec, scenario_grid, scenario_one, scenario_two
+from .scenarios import (
+    QuerySpec,
+    Scenario,
+    SourceSpec,
+    scenario_churn,
+    scenario_grid,
+    scenario_one,
+    scenario_two,
+)
 from .trace import (
     TraceError,
     TraceReplayGenerator,
@@ -54,6 +62,7 @@ __all__ = [
     "load_trace",
     "record_trace",
     "save_trace",
+    "scenario_churn",
     "scenario_grid",
     "scenario_one",
     "scenario_two",

@@ -15,8 +15,9 @@ them per strategy and executes them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List
+from typing import Callable, List, Optional
 
+from ..faults import FaultSchedule, LinkFailure, SuperPeerCrash, SuperPeerRejoin
 from ..network.topology import Network, example_topology, grid_topology
 from .photons import HotSpot, PhotonGenerator, PhotonStreamConfig, SkyRegion
 from .templates import QueryTemplateGenerator
@@ -56,6 +57,8 @@ class Scenario:
     queries: List[QuerySpec] = field(default_factory=list)
     #: Virtual seconds of stream input per execution.
     duration: float = 60.0
+    #: Optional churn: faults applied (and repaired) during execution.
+    faults: Optional[FaultSchedule] = None
 
     def build_network(self) -> Network:
         return self.network_factory()
@@ -139,6 +142,45 @@ def scenario_grid(
         sources=[SourceSpec("photons", "T0", 100.0, PhotonStreamConfig(seed=seed, frequency=100.0))],
         queries=queries,
         duration=duration,
+    )
+
+
+def scenario_churn(
+    rows: int = 3,
+    cols: int = 3,
+    query_count: int = 12,
+    seed: int = 20060329,
+    duration: float = 30.0,
+    crash_peer: str = "SP1",
+    crash_at: float = 10.0,
+    rejoin_at: Optional[float] = 20.0,
+    fail_link: Optional[tuple] = None,
+) -> Scenario:
+    """A grid scenario under churn: one super-peer crashes mid-run.
+
+    The stream enters at the grid's top-left corner, so with the
+    default 3×3 grid the crash of ``SP1`` (the corner's right
+    neighbour) severs live routes and forces plan repair to detour the
+    affected subscriptions around the hole.  ``rejoin_at=None`` keeps
+    the peer down for the rest of the run; ``fail_link=(a, b)`` adds an
+    independent link failure at ``crash_at + 2``.
+    """
+    scenario = scenario_grid(
+        rows, cols, query_count, seed=seed, duration=duration
+    )
+    events: List[object] = [SuperPeerCrash(time=crash_at, peer=crash_peer)]
+    if fail_link is not None:
+        a, b = fail_link
+        events.append(LinkFailure(time=crash_at + 2.0, a=a, b=b))
+    if rejoin_at is not None:
+        events.append(SuperPeerRejoin(time=rejoin_at, peer=crash_peer))
+    return Scenario(
+        name=f"churn-{rows}x{cols}",
+        network_factory=scenario.network_factory,
+        sources=scenario.sources,
+        queries=scenario.queries,
+        duration=duration,
+        faults=FaultSchedule(events),
     )
 
 

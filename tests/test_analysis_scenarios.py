@@ -9,9 +9,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import build_verified_system
+from repro.analysis import build_churned_system, build_verified_system
 from repro.sharing.strategies import STRATEGIES
-from repro.workload.scenarios import scenario_grid, scenario_one, scenario_two
+from repro.workload.scenarios import (
+    scenario_churn,
+    scenario_grid,
+    scenario_one,
+    scenario_two,
+)
 
 
 @pytest.mark.parametrize("strategy", STRATEGIES)
@@ -30,3 +35,16 @@ def test_grid_scenario_verifies_clean():
     scenario = scenario_grid(rows=3, cols=3, query_count=12)
     report = build_verified_system(scenario, "stream-sharing")
     assert report.ok, report.render()
+
+
+def test_churn_scenario_verifies_after_every_repair():
+    scenario = scenario_churn(query_count=6)
+    reports = build_churned_system(scenario, "stream-sharing")
+    assert len(reports) == len(scenario.faults)
+    for report in reports:
+        assert report.ok, report.render()
+
+
+def test_churn_gate_requires_a_fault_schedule():
+    with pytest.raises(ValueError, match="no fault schedule"):
+        build_churned_system(scenario_one(query_count=2), "stream-sharing")

@@ -1,0 +1,60 @@
+"""Routing error messages must say *which* endpoint or removal is at
+fault — the repair path surfaces these to operators."""
+
+import pytest
+
+from repro.network.routing import NoRouteError, shortest_path
+from repro.network.topology import Network, TopologyError
+
+
+def line() -> Network:
+    net = Network()
+    for name in ("A", "B", "C"):
+        net.add_super_peer(name)
+    net.add_link("A", "B")
+    net.add_link("B", "C")
+    return net
+
+
+class TestUnknownEndpoints:
+    def test_names_the_missing_endpoint(self):
+        with pytest.raises(TopologyError, match=r"endpoint: 'Z' \(never existed\)"):
+            shortest_path(line(), "A", "Z")
+
+    def test_names_both_missing_endpoints(self):
+        with pytest.raises(TopologyError) as excinfo:
+            shortest_path(line(), "X", "Z")
+        message = str(excinfo.value)
+        assert "endpoints" in message
+        assert "'X' (never existed)" in message
+        assert "'Z' (never existed)" in message
+
+    def test_distinguishes_removed_from_never_existed(self):
+        net = line()
+        net.remove_super_peer("C")
+        with pytest.raises(
+            TopologyError, match=r"'C' \(removed from the backbone\)"
+        ):
+            shortest_path(net, "A", "C")
+
+
+class TestNoRoute:
+    def test_mentions_removed_peers(self):
+        net = line()
+        net.remove_super_peer("B")
+        with pytest.raises(NoRouteError, match="removed super-peers: B"):
+            shortest_path(net, "A", "C")
+
+    def test_mentions_removed_links(self):
+        net = line()
+        net.remove_link("A", "B")
+        with pytest.raises(NoRouteError, match="removed links: A-B"):
+            shortest_path(net, "A", "C")
+
+    def test_no_churn_note_without_removals(self):
+        net = Network()
+        net.add_super_peer("A")
+        net.add_super_peer("B")
+        with pytest.raises(NoRouteError) as excinfo:
+            shortest_path(net, "A", "B")
+        assert str(excinfo.value) == "no route from A to B"

@@ -111,6 +111,37 @@ class TestLedgerParity:
             )
 
 
+class TestLedgerDrift:
+    def test_thousand_cycles_accumulate_no_residue(self):
+        """Regression for float residue: 1000 register/deregister
+        cycles must leave the ledger exactly where a fresh registration
+        of the surviving workload would put it, never negative."""
+        system = make_system()
+        system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+        usage = system.deployment.usage
+        reference_links = {
+            link.ends: usage.link_traffic(link) for link in system.net.links()
+        }
+        reference_peers = {
+            peer: usage.peer_work(peer) for peer in system.net.super_peer_names()
+        }
+        cycled = ("Q2", "Q3", "Q4")
+        subscribers = {"Q2": "P2", "Q3": "P3", "Q4": "P4"}
+        for cycle in range(1000):
+            name = cycled[cycle % len(cycled)]
+            system.register_query(name, PAPER_QUERIES[name], subscribers[name])
+            system.deregister_query(name)
+        from repro.costmodel import RESIDUE_TOLERANCE
+
+        for link in system.net.links():
+            residue = usage.link_traffic(link) - reference_links[link.ends]
+            assert abs(residue) <= RESIDUE_TOLERANCE
+        for peer in system.net.super_peer_names():
+            residue = usage.peer_work(peer) - reference_peers[peer]
+            assert abs(residue) <= RESIDUE_TOLERANCE
+            assert usage.peer_work(peer) >= 0.0
+
+
 class TestLiveStreamAnalysis:
     def test_live_set_contents(self):
         system = make_system()

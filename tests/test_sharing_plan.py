@@ -97,6 +97,44 @@ class TestDeployment:
             deployment.stream("nope")
 
 
+class TestReleaseStream:
+    @pytest.fixture()
+    def deployment(self):
+        deployment = Deployment(example_topology())
+        deployment.install_stream(make_stream(route=("SP4",)))
+        deployment.install_stream(
+            make_stream(stream_id="derived", parent="photons", route=("SP4", "SP5", "SP1"))
+        )
+        return deployment
+
+    def test_release_removes_stream_and_index_entries(self, deployment):
+        assert deployment.release_stream("derived") is True
+        assert "derived" not in deployment.streams
+        for node in ("SP4", "SP5", "SP1"):
+            assert all(s.stream_id != "derived" for s in deployment.streams_at(node))
+
+    def test_release_is_idempotent(self, deployment):
+        assert deployment.release_stream("derived") is True
+        assert deployment.release_stream("derived") is False
+        assert deployment.release_stream("never-installed") is False
+
+    def test_release_survives_missing_index_entries(self, deployment):
+        """Atomicity: a partially missing availability index must not
+        abort the release half way through."""
+        deployment._available["SP5"].remove("derived")
+        del deployment._available["SP1"]
+        assert deployment.release_stream("derived") is True
+        assert "derived" not in deployment.streams
+        assert all(s.stream_id != "derived" for s in deployment.streams_at("SP4"))
+
+    def test_reinstall_after_release(self, deployment):
+        deployment.release_stream("derived")
+        deployment.install_stream(
+            make_stream(stream_id="derived", parent="photons", route=("SP4", "SP5"))
+        )
+        assert deployment.stream("derived").route == ("SP4", "SP5")
+
+
 class TestEvaluationPlan:
     def _input_plan(self, pipeline=(), relay=None):
         delivered = InstalledStream(

@@ -1,0 +1,134 @@
+"""Tests for plan repair after super-peer crashes and link failures."""
+
+import pytest
+
+from tests.conftest import PAPER_QUERIES, make_system
+from repro.faults import LinkFailure, SuperPeerCrash, SuperPeerRejoin
+from repro.sharing.validate import validate_deployment
+
+
+def register_all(system, names=("Q1", "Q2", "Q3", "Q4")):
+    subscribers = {"Q1": "P1", "Q2": "P2", "Q3": "P3", "Q4": "P4"}
+    return [
+        system.register_query(name, PAPER_QUERIES[name], subscribers[name])
+        for name in names
+    ]
+
+
+class TestCrashRepair:
+    def test_on_route_crash_replans_affected_queries(self):
+        system = make_system(verify=True)
+        register_all(system)
+        # SP5 carries Q1's delivery (SP4 -> SP5 -> SP1) and hosts Q2's
+        # shared selection.
+        report = system.apply_fault(SuperPeerCrash(5.0, "SP5"))
+        assert "Q1" in report.torn_down_queries
+        assert set(report.repaired_queries) == set(report.torn_down_queries)
+        assert report.pending == []
+        assert validate_deployment(system.deployment) == []
+        # Every surviving route avoids the crashed peer.
+        for stream in system.deployment.streams.values():
+            assert "SP5" not in stream.route
+
+    def test_unaffected_queries_keep_their_plans(self):
+        system = make_system(verify=True)
+        register_all(system)
+        before = dict(system.deployment.streams)
+        report = system.apply_fault(SuperPeerCrash(5.0, "SP6"))
+        # SP6 only carries Q4's delivery toward SP0.
+        assert report.torn_down_queries == ["Q4"]
+        for stream_id, stream in system.deployment.streams.items():
+            if stream.query in (None, "Q1", "Q2", "Q3"):
+                assert before.get(stream_id) is stream
+
+    def test_repair_report_summary_and_recovery_time(self):
+        system = make_system()
+        register_all(system)
+        report = system.apply_fault(SuperPeerCrash(5.0, "SP5"))
+        assert report.context in report.summary()
+        expected = max(r.registration_ms for r in report.reregistered if r.accepted)
+        assert report.recovery_time_ms() == expected
+
+    def test_recovery_time_zero_without_reregistrations(self):
+        system = make_system()
+        register_all(system, names=("Q3",))
+        # SP2 carries no installed route.
+        report = system.apply_fault(SuperPeerCrash(5.0, "SP2"))
+        assert report.torn_down_queries == []
+        assert report.recovery_time_ms() == 0.0
+
+
+class TestLinkFailureRepair:
+    def test_failed_link_forces_detour(self):
+        system = make_system(verify=True)
+        register_all(system, names=("Q1",))
+        report = system.apply_fault(LinkFailure(5.0, "SP4", "SP5"))
+        assert report.torn_down_queries == ["Q1"]
+        assert report.repaired_queries == ["Q1"]
+        for stream in system.deployment.streams.values():
+            assert ("SP4", "SP5") not in stream.links()
+        assert validate_deployment(system.deployment) == []
+
+
+class TestPendingSubscriptions:
+    def test_subscriber_home_crash_parks_query_until_rejoin(self):
+        system = make_system(verify=True)
+        register_all(system, names=("Q1",))
+        report = system.apply_fault(SuperPeerCrash(5.0, "SP1"))
+        assert report.repaired_queries == []
+        assert report.pending == [
+            ("Q1", "subscriber super-peer SP1 is removed")
+        ]
+        assert "Q1" not in system.deployment.queries
+
+        healed = system.apply_fault(SuperPeerRejoin(15.0, "SP1"))
+        assert healed.repaired_queries == ["Q1"]
+        assert healed.pending == []
+        assert "Q1" in system.deployment.queries
+
+    def test_source_home_crash_parks_everything_and_clears_ledger(self):
+        system = make_system(verify=True)
+        register_all(system)
+        report = system.apply_fault(SuperPeerCrash(5.0, "SP4"))
+        assert "photons" in report.removed_streams
+        assert [reason for _, reason in report.pending] == [
+            "original stream(s) unavailable: photons"
+        ] * 4
+        assert system.deployment.streams == {}
+        # Regression: tearing down the whole deployment — including the
+        # damaged original — must release every commitment exactly once.
+        usage = system.deployment.usage
+        for link in system.net.links():
+            assert usage.link_traffic(link) == pytest.approx(0.0, abs=1e-6)
+        for peer in system.net.super_peer_names():
+            assert usage.peer_work(peer) == pytest.approx(0.0, abs=1e-6)
+
+    def test_source_home_rejoin_reinstalls_and_heals(self):
+        system = make_system(verify=True)
+        register_all(system)
+        system.apply_fault(SuperPeerCrash(5.0, "SP4"))
+        healed = system.apply_fault(SuperPeerRejoin(15.0, "SP4"))
+        assert healed.reinstalled_sources == ["photons"]
+        assert sorted(healed.repaired_queries) == ["Q1", "Q2", "Q3", "Q4"]
+        assert validate_deployment(system.deployment) == []
+
+
+class TestTeardownParity:
+    @pytest.mark.parametrize("strategy", ["data-shipping", "stream-sharing"])
+    def test_full_churn_returns_ledger_to_baseline(self, strategy):
+        """Regression: relay-based plans used to release the tap
+        duplication twice (once for the relay, once for the delivered
+        stream), leaving the ledger negative after mass teardown."""
+        system = make_system(strategy)
+        usage = system.deployment.usage
+        baseline = {
+            peer: usage.peer_work(peer) for peer in system.net.super_peer_names()
+        }
+        register_all(system)
+        for name in ("Q1", "Q2", "Q3", "Q4"):
+            system.deregister_query(name)
+        for peer in system.net.super_peer_names():
+            assert usage.peer_work(peer) == pytest.approx(
+                baseline[peer], abs=1e-6
+            )
+            assert usage.peer_work(peer) >= 0.0
