@@ -9,6 +9,9 @@ runtime:
   path rooted at its origin node, using only real topology links
   (``P10x``), and the per-node availability index mirrors the routes
   exactly;
+* **sharing index** — the inverted signature index that serves indexed
+  candidate lookup lists exactly the installed streams at exactly their
+  route nodes, under their current content signatures (``P14x``);
 * **derivation** — parents exist, taps sit on parent routes, originals
   carry no pipeline, and every child's content is actually producible
   from its parent (``P11x``);
@@ -35,6 +38,7 @@ from typing import Dict, Optional, Set, Tuple
 
 from ..costmodel.statistics import StatisticsCatalog
 from ..matching import match_stream_properties
+from ..sharing.index import content_signature
 from ..sharing.plan import Deployment, InstalledStream
 from ..xmlkit.schema import Schema
 from .diagnostics import AnalysisReport
@@ -63,6 +67,7 @@ def verify_deployment(
         _check_route(deployment, stream, report)
         _check_derivation(deployment, stream, report, views)
     _check_availability_index(deployment, report)
+    _check_sharing_index(deployment, report)
     _check_deliveries(deployment, report, views)
     _check_usage_ledger(deployment, report)
     return report
@@ -155,6 +160,75 @@ def _check_availability_index(deployment: Deployment, report: AnalysisReport) ->
                     f"availability index lists stream {stream_id!r} "
                     f"{count} time(s) but its route covers the node {want} time(s)",
                 )
+
+
+# ----------------------------------------------------------------------
+# P14x — sharing index (indexed candidate lookup)
+# ----------------------------------------------------------------------
+def _check_sharing_index(deployment: Deployment, report: AnalysisReport) -> None:
+    """The inverted signature index must mirror the deployment exactly.
+
+    Indexed registration trusts the index as the *complete* candidate
+    set: a missing entry silently hides a shareable stream (worse plans,
+    never caught at runtime), a stale entry resurrects a released one.
+
+    * ``P140`` — the index lists a stream that is not installed;
+    * ``P141`` — the index lists a stream at a node off its route;
+    * ``P142`` — an installed stream is missing from the index at some
+      node of its route (or entirely);
+    * ``P143`` — the indexed signature differs from the signature of the
+      stream's current content.
+    """
+    index = deployment.sharing_index
+    listed_nodes: Dict[str, Set[str]] = {}
+    for node, stream_id, signature in index.entries():
+        stream = deployment.streams.get(stream_id)
+        if stream is None:
+            report.add(
+                "P140",
+                f"node {node}",
+                f"sharing index lists stream {stream_id!r}, which is not "
+                "installed (stale entry)",
+                hint="release_stream must discard the stream from the "
+                "sharing index atomically",
+            )
+            continue
+        if node not in stream.route:
+            report.add(
+                "P141",
+                f"stream {stream_id!r}",
+                f"sharing index lists the stream at {node}, which is not on "
+                f"its route {'-'.join(stream.route)}",
+            )
+        listed_nodes.setdefault(stream_id, set()).add(node)
+
+    for stream in deployment.streams.values():
+        subject = f"stream {stream.stream_id!r}"
+        signature = index.signature_of(stream.stream_id)
+        if signature is None:
+            report.add(
+                "P142",
+                subject,
+                "stream is missing from the sharing index entirely",
+                hint="install_stream must add every stream to the sharing "
+                "index",
+            )
+            continue
+        missing = set(stream.route) - listed_nodes.get(stream.stream_id, set())
+        if missing:
+            report.add(
+                "P142",
+                subject,
+                f"sharing index misses the stream at route node(s) "
+                f"{', '.join(sorted(missing))}",
+            )
+        if signature != content_signature(stream.content):
+            report.add(
+                "P143",
+                subject,
+                "indexed signature does not match the stream's current "
+                "content (indexed lookups would mis-bucket it)",
+            )
 
 
 # ----------------------------------------------------------------------

@@ -104,6 +104,7 @@ def run_scenario(
     capacity_factor: float = 1.0,
     link_bandwidth: Optional[float] = None,
     execute: bool = True,
+    use_index: bool = True,
 ) -> ScenarioRun:
     """Register a scenario's workload under ``strategy`` and execute it.
 
@@ -123,6 +124,7 @@ def run_scenario(
         admission_control=admission_control,
         share_aggregates=share_aggregates,
         enable_widening=enable_widening,
+        use_index=use_index,
     )
     for source in scenario.sources:
         system.register_stream(

@@ -1,0 +1,292 @@
+"""Control-plane scale benchmark: indexed vs brute-force registration.
+
+Registers a template workload (``scenario_grid``) twice — once through
+the brute-force per-node candidate scan (``use_index=False``, the
+paper-faithful Algorithm 1) and once through the
+:class:`~repro.sharing.index.StreamAvailabilityIndex` path — and
+reports, per workload size:
+
+* wall time and registrations per second for both modes;
+* total and per-registration ``candidate_matches`` (the search
+  telemetry feeding the latency model: how many candidates reached
+  Algorithm 2) — sub-linear growth in installed streams is the point
+  of the index;
+* ``plans_identical``: whether both modes chose byte-identical plan
+  decisions (reused stream, tap node, placement node) for every query —
+  the index is an optimization, never a behavior change;
+* throughput of :meth:`~repro.sharing.system.StreamGlobe.register_queries`
+  batch admission on the same workload.
+
+The report is written to ``BENCH_PR4.json`` at the repo root by
+default.  Query parsing happens outside the timed region (identical in
+both modes, and not what this benchmark measures).
+
+Usage::
+
+    python -m repro.bench.scale                      # full benchmark
+    python -m repro.bench.scale --scenario smoke     # CI smoke run
+    python -m repro.bench.scale --check BENCH_PR4.json
+        # regression gate: fail if plan equivalence breaks, the indexed
+        # candidate_matches count grows, or the indexed-vs-brute
+        # speedup drops more than --tolerance (default 30%) below the
+        # committed baseline
+
+The gate compares machine-independent metrics only: ``plans_identical``
+and ``candidate_matches`` are deterministic, and ``speedup`` is a ratio
+of two measurements from the same run on the same machine.  Absolute
+registrations/s are reported but not gated — they vary across hosts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..sharing.system import StreamGlobe
+from ..workload.scenarios import Scenario, scenario_grid
+from ..wxquery import Query, parse_query
+
+#: Workload sizes of the full benchmark: (query count, run brute mode).
+#: The brute-force scan is quadratic in registrations, so the largest
+#: size runs indexed-only (the brute run would dominate the benchmark's
+#: wall time without adding information beyond the 5k point).
+FULL_SIZES: Tuple[Tuple[int, bool], ...] = ((1000, True), (5000, True), (10000, False))
+
+SMOKE_SIZES: Tuple[Tuple[int, bool], ...] = ((250, True),)
+
+
+def _scenario_for(queries: int, smoke: bool) -> Scenario:
+    if smoke:
+        return scenario_grid(3, 3, queries)
+    return scenario_grid(4, 4, queries)
+
+
+def _parse_workload(scenario: Scenario) -> Dict[str, Query]:
+    """Parse every distinct query text once (shared Query objects)."""
+    parsed: Dict[str, Query] = {}
+    for spec in scenario.queries:
+        if spec.text not in parsed:
+            parsed[spec.text] = parse_query(spec.text)
+    return parsed
+
+
+def _build_system(scenario: Scenario, use_index: bool) -> StreamGlobe:
+    system = StreamGlobe(
+        scenario.build_network(), strategy="stream-sharing", use_index=use_index
+    )
+    for source in scenario.sources:
+        system.register_stream(
+            source.name,
+            "photons/photon",
+            source.generator_factory(),
+            frequency=source.frequency,
+            source_peer=source.source_peer,
+        )
+    return system
+
+
+#: One query's plan decision: (accepted, per-input (stream, reused id,
+#: tap node, placement node)).  What `plans_identical` compares.
+Decision = Tuple[bool, Tuple[Tuple[str, str, str, str], ...]]
+
+
+def _register_sequential(
+    scenario: Scenario, parsed: Dict[str, Query], use_index: bool
+) -> Dict[str, Any]:
+    system = _build_system(scenario, use_index)
+    decisions: Dict[str, Decision] = {}
+    candidate_matches = 0
+    accepted = 0
+    start = time.perf_counter()
+    for spec in scenario.queries:
+        result = system.register_query(
+            spec.name, parsed[spec.text], spec.subscriber_peer
+        )
+        if result.accepted:
+            accepted += 1
+        plan = result.plan
+        inputs: Tuple[Tuple[str, str, str, str], ...] = ()
+        if plan is not None:
+            candidate_matches += plan.candidate_matches
+            inputs = tuple(
+                (p.input_stream, p.reused_id, p.tap_node, p.placement_node)
+                for p in plan.inputs
+            )
+        decisions[spec.name] = (result.accepted, inputs)
+    wall_s = time.perf_counter() - start
+    count = len(scenario.queries)
+    return {
+        "decisions": decisions,
+        "entry": {
+            "wall_s": round(wall_s, 3),
+            "registrations_per_s": round(count / wall_s, 1),
+            "accepted": accepted,
+            "candidate_matches": candidate_matches,
+            "matches_per_registration": round(candidate_matches / count, 1),
+            "streams": len(system.deployment.streams),
+        },
+    }
+
+
+def _register_batch(scenario: Scenario, parsed: Dict[str, Query]) -> Dict[str, Any]:
+    system = _build_system(scenario, use_index=True)
+    batch = [
+        (spec.name, parsed[spec.text], spec.subscriber_peer)
+        for spec in scenario.queries
+    ]
+    start = time.perf_counter()
+    results = system.register_queries(batch)
+    wall_s = time.perf_counter() - start
+    return {
+        "wall_s": round(wall_s, 3),
+        "registrations_per_s": round(len(batch) / wall_s, 1),
+        "accepted": sum(1 for r in results if r.accepted),
+        "streams": len(system.deployment.streams),
+    }
+
+
+def _measure_size(queries: int, run_brute: bool, smoke: bool) -> Dict[str, Any]:
+    scenario = _scenario_for(queries, smoke)
+    parsed = _parse_workload(scenario)
+
+    indexed = _register_sequential(scenario, parsed, use_index=True)
+    entry: Dict[str, Any] = {
+        "queries": queries,
+        "distinct_query_texts": len(parsed),
+        "modes": {"indexed": indexed["entry"]},
+        "batch": _register_batch(scenario, parsed),
+    }
+    if run_brute:
+        brute = _register_sequential(scenario, parsed, use_index=False)
+        entry["modes"]["brute"] = brute["entry"]
+        entry["speedup"] = round(
+            indexed["entry"]["registrations_per_s"]
+            / brute["entry"]["registrations_per_s"],
+            2,
+        )
+        entry["plans_identical"] = indexed["decisions"] == brute["decisions"]
+    return entry
+
+
+def run_benchmark(smoke: bool) -> Dict[str, Any]:
+    report: Dict[str, Any] = {"benchmark": "repro.bench.scale", "scenarios": {}}
+    # The smoke sizes run in both modes so the committed full report
+    # contains the scenario the CI smoke gate compares against.
+    for queries, run_brute in SMOKE_SIZES:
+        report["scenarios"][f"smoke-{queries}"] = _measure_size(
+            queries, run_brute, smoke=True
+        )
+    if not smoke:
+        for queries, run_brute in FULL_SIZES:
+            report["scenarios"][f"n{queries}"] = _measure_size(
+                queries, run_brute, smoke=False
+            )
+    return report
+
+
+def check_regression(
+    report: Dict[str, Any], baseline_path: str, tolerance: float
+) -> int:
+    """Gate on control-plane scalability regressions.
+
+    Fails (returns 1) when, for any scenario present in both reports:
+
+    * indexed and brute-force registration no longer choose identical
+      plans (``plans_identical`` false) — correctness, zero tolerance;
+    * the indexed path's ``candidate_matches`` grew beyond the
+      committed count × (1 + tolerance) — the index stopped pruning;
+    * the indexed-vs-brute ``speedup`` fell below the committed value ×
+      (1 − tolerance).
+    """
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures: List[str] = []
+    for name, entry in report["scenarios"].items():
+        reference = baseline.get("scenarios", {}).get(name)
+        if not reference:
+            continue
+        ok = True
+        if "plans_identical" in entry and not entry["plans_identical"]:
+            print(f"{name}: indexed and brute plans diverged  REGRESSION")
+            ok = False
+        current_matches = entry["modes"]["indexed"]["candidate_matches"]
+        committed_matches = reference["modes"]["indexed"]["candidate_matches"]
+        ceiling = committed_matches * (1.0 + tolerance)
+        status = "ok" if current_matches <= ceiling else "REGRESSION"
+        print(
+            f"{name}: indexed candidate_matches {current_matches} vs baseline "
+            f"{committed_matches} (ceiling {ceiling:.0f}) {status}"
+        )
+        ok = ok and current_matches <= ceiling
+        if "speedup" in entry and "speedup" in reference:
+            floor = reference["speedup"] * (1.0 - tolerance)
+            status = "ok" if entry["speedup"] >= floor else "REGRESSION"
+            print(
+                f"{name}: speedup {entry['speedup']:.2f}x vs baseline "
+                f"{reference['speedup']:.2f}x (floor {floor:.2f}x) {status}"
+            )
+            ok = ok and entry["speedup"] >= floor
+        if not ok:
+            failures.append(name)
+    if failures:
+        print(f"regressed scenarios: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.scale", description=__doc__
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=("smoke", "full"),
+        default="full",
+        help="smoke: one small size on a 3x3 grid (CI); "
+        "full: 1k/5k/10k on a 4x4 grid (default)",
+    )
+    parser.add_argument("--out", default="BENCH_PR4.json", help="report output path")
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare against a committed baseline report; exit 1 on a "
+        "plan-equivalence, pruning, or speedup regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional degradation for --check (default 0.30)",
+    )
+    options = parser.parse_args(argv)
+
+    report = run_benchmark(smoke=options.scenario == "smoke")
+    with open(options.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for name, entry in report["scenarios"].items():
+        indexed = entry["modes"]["indexed"]
+        line = (
+            f"{name}: indexed {indexed['registrations_per_s']:.0f} reg/s "
+            f"({indexed['matches_per_registration']:.0f} matches/reg)"
+        )
+        if "brute" in entry["modes"]:
+            brute = entry["modes"]["brute"]
+            line += (
+                f", brute {brute['registrations_per_s']:.0f} reg/s "
+                f"({brute['matches_per_registration']:.0f} matches/reg), "
+                f"speedup {entry['speedup']:.1f}x, "
+                f"plans identical: {entry['plans_identical']}"
+            )
+        print(line)
+    print(f"report written to {options.out}")
+    if options.check:
+        return check_regression(report, options.check, options.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

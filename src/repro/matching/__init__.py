@@ -1,6 +1,7 @@
 """Stream/subscription matching (Algorithms 2 and 3 plus MatchAggregations)."""
 
-from .aggregation import functions_compatible, match_aggregations
+from .aggregation import functions_compatible, match_aggregations, serving_functions
+from .memo import MatchMemo
 from .properties_match import (
     match_properties,
     match_stream_properties,
@@ -8,9 +9,11 @@ from .properties_match import (
 )
 
 __all__ = [
+    "MatchMemo",
     "functions_compatible",
     "match_aggregations",
     "match_properties",
     "match_stream_properties",
     "missing_operators",
+    "serving_functions",
 ]

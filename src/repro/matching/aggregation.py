@@ -41,6 +41,18 @@ def functions_compatible(reused: str, new: str) -> bool:
     return new in _SERVABLE[reused]
 
 
+def serving_functions(new: str) -> frozenset:
+    """The inverse of :data:`_SERVABLE`: functions whose result streams
+    can serve ``new`` aggregates (``sum`` ← {``sum``, ``avg``}, …).
+
+    Used by the stream-availability index to enumerate the aggregation
+    signatures a subscription is structurally compatible with.
+    """
+    return frozenset(
+        reused for reused, served in _SERVABLE.items() if new in served
+    )
+
+
 def match_aggregations(
     reused: AggregationSpec, new: AggregationSpec, mode: str = "edgewise"
 ) -> bool:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..predicates import match_predicates
+from .memo import MatchMemo
 from ..properties import (
     AggregationSpec,
     OperatorSpec,
@@ -53,14 +54,38 @@ def match_properties(
 
 
 def match_stream_properties(
-    stream: StreamProperties, subscription: StreamProperties, mode: str = "edgewise"
+    stream: StreamProperties,
+    subscription: StreamProperties,
+    mode: str = "edgewise",
+    memo: Optional[MatchMemo] = None,
 ) -> bool:
     """Algorithm 2 over one input stream.
 
     ``stream`` plays the role of ``p`` (the candidate for sharing),
     ``subscription`` the role of ``p'`` (the new query's requirements on
-    this input).
+    this input).  ``memo`` optionally caches verdicts — matching is a
+    pure function of the two immutable spec trees, so a cached verdict
+    is always identical to a fresh evaluation.
     """
+    if memo is None:
+        return _match_stream_properties(stream, subscription, mode, None)
+    key = (stream, subscription, mode)
+    cached = memo.properties.get(key)
+    if cached is not None:
+        memo.hits += 1
+        return cached
+    memo.misses += 1
+    verdict = _match_stream_properties(stream, subscription, mode, memo)
+    memo.properties[key] = verdict
+    return verdict
+
+
+def _match_stream_properties(
+    stream: StreamProperties,
+    subscription: StreamProperties,
+    mode: str,
+    memo: Optional[MatchMemo],
+) -> bool:
     # Lines 1–4: the original input streams must coincide.
     if stream.stream != subscription.stream:
         return False
@@ -70,23 +95,47 @@ def match_stream_properties(
     # Lines 6–36: every operator of the stream needs a compatible
     # counterpart in the subscription.
     for op in stream.operators:                           # line 6
-        if not _operator_matched(op, subscription, mode):  # lines 7–31
+        if not _operator_matched(op, subscription, mode, memo):  # lines 7–31
             return False                                   # lines 33–35
     return True                                            # line 37
 
 
 def _operator_matched(
-    op: OperatorSpec, subscription: StreamProperties, mode: str
+    op: OperatorSpec,
+    subscription: StreamProperties,
+    mode: str,
+    memo: Optional[MatchMemo] = None,
 ) -> bool:
     for candidate in subscription.operators:               # line 8
         if candidate.kind != op.kind:                      # line 9 (o = o')
             continue
-        if _conditions_compatible(op, candidate, mode):    # lines 10–30
+        if _conditions_compatible(op, candidate, mode, memo):  # lines 10–30
             return True                                    # break on match
     return False
 
 
-def _conditions_compatible(op: OperatorSpec, other: OperatorSpec, mode: str) -> bool:
+def _conditions_compatible(
+    op: OperatorSpec,
+    other: OperatorSpec,
+    mode: str,
+    memo: Optional[MatchMemo] = None,
+) -> bool:
+    if memo is not None and isinstance(
+        op, (SelectionSpec, ProjectionSpec, AggregationSpec)
+    ):
+        # Only the condition checks with real work are worth an entry;
+        # window arithmetic and udf equality are cheaper than the probe.
+        key = (op, other, mode)
+        cached = memo.operators.get(key)
+        if cached is not None:
+            return cached
+        verdict = _conditions_verdict(op, other, mode)
+        memo.operators[key] = verdict
+        return verdict
+    return _conditions_verdict(op, other, mode)
+
+
+def _conditions_verdict(op: OperatorSpec, other: OperatorSpec, mode: str) -> bool:
     if isinstance(op, SelectionSpec) and isinstance(other, SelectionSpec):
         # Lines 11–15: the subscription's predicates must imply the
         # stream's (MatchPredicates(G, G')).

@@ -2,6 +2,7 @@
 
 from .routing import (
     NoRouteError,
+    RouteCache,
     all_distances,
     eccentricity,
     hop_distance,
@@ -22,6 +23,7 @@ __all__ = [
     "Link",
     "Network",
     "NoRouteError",
+    "RouteCache",
     "SuperPeer",
     "ThinPeer",
     "TopologyError",

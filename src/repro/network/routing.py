@@ -11,7 +11,7 @@ reproducible.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from .topology import Link, Network, TopologyError
 
@@ -75,6 +75,48 @@ def _reconstruct(parents: Dict[str, str], source: str, target: str) -> List[str]
         path.append(parents[path[-1]])
     path.reverse()
     return path
+
+
+class RouteCache:
+    """Memoized :func:`shortest_path` keyed on ``(source, target)``.
+
+    The backbone topology only changes through the churn APIs, and every
+    one of those bumps :attr:`Network.version`; the cache checks the
+    counter on each lookup and drops itself wholesale when it moved, so
+    crash/rejoin repairs always re-route against the current topology
+    without any explicit invalidation hook.
+
+    Each direction is computed and cached independently — BFS ties can
+    break differently per direction, and plans must be byte-identical to
+    direct ``shortest_path`` calls.  Routing errors (disconnected
+    endpoints) propagate uncached, so a later rejoin can succeed.
+    """
+
+    __slots__ = ("net", "_version", "_paths", "hits", "misses")
+
+    def __init__(self, net: Network) -> None:
+        self.net = net
+        self._version = net.version
+        self._paths: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, source: str, target: str) -> Tuple[str, ...]:
+        if self._version != self.net.version:
+            self._paths.clear()
+            self._version = self.net.version
+        key = (source, target)
+        route = self._paths.get(key)
+        if route is None:
+            self.misses += 1
+            route = tuple(shortest_path(self.net, source, target))
+            self._paths[key] = route
+        else:
+            self.hits += 1
+        return route
+
+    def __len__(self) -> int:
+        return len(self._paths)
 
 
 def hop_distance(net: Network, source: str, target: str) -> int:

@@ -40,9 +40,12 @@ class UnsatisfiableError(ValueError):
 class PredicateGraph:
     """Immutable-after-build weighted digraph over path/zero nodes."""
 
+    __slots__ = ("_edges", "_nodes", "_hash")
+
     def __init__(self, atoms: Iterable[NormalizedAtom] = ()) -> None:
         self._edges: Dict[Tuple[NodeLabel, NodeLabel], Bound] = {}
         self._nodes: Dict[NodeLabel, None] = {}  # insertion-ordered set
+        self._hash: Optional[int] = None
         for atom in atoms:
             self.add_atom(atom)
 
@@ -63,6 +66,7 @@ class PredicateGraph:
         existing = self._edges.get(key)
         if existing is None or bound < existing:
             self._edges[key] = bound
+            self._hash = None
 
     # ------------------------------------------------------------------
     # Inspection
@@ -99,9 +103,28 @@ class PredicateGraph:
         return len(self._edges)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, PredicateGraph):
             return NotImplemented
+        if (
+            self._hash is not None
+            and other._hash is not None
+            and self._hash != other._hash
+        ):
+            return False
         return self._edges == other._edges
+
+    def __hash__(self) -> int:
+        # Hashes and compares over the edge set only (node insertion
+        # order is presentation, not meaning).  Cached: graphs are
+        # immutable after build, and the memoized matching layer hashes
+        # the same graphs once per candidate pair.
+        cached = self._hash
+        if cached is None:
+            cached = hash(frozenset(self._edges.items()))
+            self._hash = cached
+        return cached
 
     def __repr__(self) -> str:
         return f"PredicateGraph({len(self._nodes)} nodes, {len(self._edges)} edges)"

@@ -26,6 +26,12 @@ from ..xmlkit import Path
 from .windows import WindowSpec
 
 
+# The indexed registration path hashes the same specs once per
+# candidate pair (memo keys, signature buckets), so the hot classes
+# precompute their hash in ``__post_init__`` — the sanctioned
+# construction-time escape hatch for frozen dataclasses.
+
+
 @dataclass(frozen=True)
 class SelectionSpec:
     """A selection operator σ with its minimized predicate graph."""
@@ -33,6 +39,12 @@ class SelectionSpec:
     graph: PredicateGraph
 
     kind: str = field(default="selection", init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((SelectionSpec, self.graph)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     def __str__(self) -> str:
         return f"σ[{self.graph.describe()}]"
@@ -60,6 +72,14 @@ class ProjectionSpec:
             raise ValueError("a projection must output at least one element")
         if not self.output_elements <= self.referenced_elements:
             raise ValueError("output elements must be referenced elements")
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((ProjectionSpec, self.output_elements, self.referenced_elements)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     def __str__(self) -> str:
         marked = ",".join(sorted(str(p) for p in self.output_elements))
@@ -99,6 +119,23 @@ class AggregationSpec:
     def __post_init__(self) -> None:
         if self.function not in ("min", "max", "sum", "count", "avg"):
             raise ValueError(f"unknown aggregation function {self.function!r}")
+        object.__setattr__(
+            self,
+            "_hash",
+            hash(
+                (
+                    AggregationSpec,
+                    self.function,
+                    self.aggregated_path,
+                    self.window,
+                    self.pre_selection,
+                    self.result_filter,
+                )
+            ),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     @property
     def is_filtered(self) -> bool:
@@ -216,6 +253,16 @@ class StreamProperties:
     stream: str
     item_path: Path
     operators: Tuple[OperatorSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((StreamProperties, self.stream, self.item_path, self.operators)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     def operator_of_kind(self, kind: str) -> Optional[OperatorSpec]:
         for op in self.operators:

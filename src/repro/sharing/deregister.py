@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import List, Set
 
-from ..costmodel import PlanEffects, base_load, estimate_stream_rate
+from ..costmodel import PlanEffects, base_load
 from .plan import Deployment, InstalledStream
 from .planner import Planner
 
@@ -73,7 +73,7 @@ class Deregistrar:
             stream = deployment.streams.get(stream_id)
             if stream is None:
                 continue
-            rate = estimate_stream_rate(stream.content, self.planner.catalog)
+            rate = self.planner.stream_rate(stream.content)
             self._charge(release, record.subscriber_node, "restructure", rate.frequency)
 
         removed = self._collect_garbage(deployment, release)
@@ -87,11 +87,19 @@ class Deregistrar:
         removed: List[str] = []
         while True:
             live = live_stream_ids(deployment)
-            dead = [
-                stream
-                for stream in deployment.streams.values()
-                if stream.stream_id not in live
-            ]
+            # Sorted by id: release/removal order (and with it the
+            # reported removal list) must not depend on dict insertion
+            # order, so indexed and brute-force registrations — which
+            # install streams in different orders — tear down
+            # identically.
+            dead = sorted(
+                (
+                    stream
+                    for stream in deployment.streams.values()
+                    if stream.stream_id not in live
+                ),
+                key=lambda stream: stream.stream_id,
+            )
             if not dead:
                 return removed
             # Release every dead stream before deleting any: releasing a
@@ -108,8 +116,7 @@ class Deregistrar:
     ) -> None:
         """Estimated commitments of one stream, mirroring the planner."""
         net = self.planner.net
-        catalog = self.planner.catalog
-        rate = estimate_stream_rate(stream.content, catalog)
+        rate = self.planner.stream_rate(stream.content)
 
         # Route traffic and forwarding work.  Lookups include removed
         # peers/links: plan repair tears down streams whose routes
@@ -127,7 +134,7 @@ class Deregistrar:
             else None
         )
         if parent is not None:
-            parent_rate = estimate_stream_rate(parent.content, catalog)
+            parent_rate = self.planner.stream_rate(parent.content)
             # The planner charges one tap duplication per input chain, at
             # the node where the chain taps the reused stream.  Only the
             # chain's first stream pays it back: a stream consuming its

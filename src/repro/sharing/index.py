@@ -1,0 +1,328 @@
+"""Indexed candidate lookup for ``Subscribe`` — the control-plane index.
+
+The paper evaluates Algorithm 1 with a handful of subscriptions, so the
+faithful implementation scans *every* stream available at a visited node
+and runs Algorithm 2 on it.  At production registration volumes (the
+ROADMAP's "heavy traffic from millions of users") that scan is the
+control-plane bottleneck: O(installed streams) candidate matches per
+visited node, quadratic in total registrations.
+
+This module narrows the scan with an inverted index over *content
+signatures*:
+
+* :func:`content_signature` reduces a stream's
+  :class:`~repro.properties.StreamProperties` to its structural skeleton
+  — original stream, item path, and per-operator *details* (operator
+  kind plus the components Algorithm 2 requires to be equal, e.g. the
+  aggregated path and window class for aggregations);
+* every component of a signature is a **necessary condition** of
+  :func:`~repro.matching.match_stream_properties`: a candidate whose
+  signature is not covered by the subscription's compatible details can
+  never match.  The index therefore prunes candidates without ever
+  changing the set of matches — indexed and brute-force registration
+  choose identical plans (covered by a property test);
+* :class:`SubscriptionProbe` precomputes, once per subscription input,
+  the set of signatures the subscription is compatible with
+  (aggregation details expand along ``avg → sum/count`` servability);
+* :class:`StreamAvailabilityIndex` maintains ``node → signature →
+  stream ids`` buckets incrementally on install/release, so query
+  registration, deregistration GC, and plan-repair teardown keep it
+  consistent for free (invariant ``P14x`` in :mod:`repro.analysis`).
+
+Lookups are adaptive: a probe with few distinct compatible signatures
+enumerates them (hash lookups, independent of bucket count), while a
+node with fewer buckets than the probe has signatures is scanned
+directly with a subset test.  Either way the result is sorted by stream
+id — the deterministic tie-breaking order shared with the brute-force
+scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..matching.aggregation import serving_functions
+from ..properties import (
+    AggregationSpec,
+    OperatorSpec,
+    Properties,
+    StreamProperties,
+    UdfSpec,
+    WindowContentsSpec,
+)
+from ..xmlkit import Path
+
+#: One operator's structural skeleton inside a signature.
+Detail = Tuple[object, ...]
+
+#: Probes with more compatible details than this never enumerate the
+#: (exponential) signature powerset; they scan node buckets instead.
+_MAX_ENUMERATED_DETAILS = 10
+
+
+@dataclass(frozen=True)
+class ContentSignature:
+    """The structural skeleton of a stream's content.
+
+    Two contents with different signatures can still both match a
+    subscription; but a candidate matches only if its signature's
+    details are a subset of the subscription's compatible details
+    (necessary condition of Algorithm 2).
+    """
+
+    stream: str
+    item_path: Path
+    details: FrozenSet[Detail]
+
+    def __post_init__(self) -> None:
+        # Precomputed: signatures are bucket keys, hashed on every
+        # index maintenance step and probe lookup.
+        object.__setattr__(
+            self, "_hash", hash((self.stream, self.item_path, self.details))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
+
+def _operator_detail(op: OperatorSpec) -> Detail:
+    """The components Algorithm 2 requires to coincide for ``op``.
+
+    Only *necessary* equalities go in here — anything Algorithm 2 checks
+    by implication/coverage (predicates, projections, window sizes)
+    stays out, so the index never prunes a true match:
+
+    * aggregation: the aggregated path must be equal and the window kind
+      and reference element must coincide in every branch of
+      ``MatchAggregations``; the function must be servable (handled on
+      the probe side via :func:`serving_functions`);
+    * window contents: ``shareable_from`` requires equal kind/reference;
+    * udf: Algorithm 2's unknown-operator case requires the operator and
+      its parameter vector to be equal;
+    * selection/projection: only the operator kind is necessary.
+    """
+    if isinstance(op, AggregationSpec):
+        return (
+            "aggregation",
+            op.function,
+            op.aggregated_path,
+            op.window.kind,
+            op.window.reference,
+        )
+    if isinstance(op, WindowContentsSpec):
+        return ("window", op.window.kind, op.window.reference)
+    if isinstance(op, UdfSpec):
+        return ("udf", op.name, op.parameters)
+    return (op.kind,)
+
+
+def content_signature(content: StreamProperties) -> ContentSignature:
+    """Signature of an installed stream's content."""
+    return ContentSignature(
+        stream=content.stream,
+        item_path=content.item_path,
+        details=frozenset(_operator_detail(op) for op in content.operators),
+    )
+
+
+def _compatible_details(subscription: StreamProperties) -> FrozenSet[Detail]:
+    """Every detail a matching candidate's operators may carry.
+
+    A candidate operator with a detail outside this set has no same-kind
+    counterpart in the subscription that could satisfy Algorithm 2's
+    equality requirements, so the candidate cannot match.  Aggregation
+    details fan out over :func:`serving_functions` — an ``avg`` stream
+    may serve a ``sum`` subscription, so the ``sum`` probe also accepts
+    ``avg`` signatures.
+    """
+    details: Set[Detail] = set()
+    for op in subscription.operators:
+        if isinstance(op, AggregationSpec):
+            for function in serving_functions(op.function):
+                details.add(
+                    (
+                        "aggregation",
+                        function,
+                        op.aggregated_path,
+                        op.window.kind,
+                        op.window.reference,
+                    )
+                )
+        else:
+            details.add(_operator_detail(op))
+    return frozenset(details)
+
+
+@dataclass(frozen=True)
+class SubscriptionProbe:
+    """One subscription input, prepared for indexed lookup.
+
+    ``signatures`` enumerates every signature whose details are a subset
+    of the subscription's compatible details (the raw stream — empty
+    details — is always included: Algorithm 2 trivially matches it).
+    ``None`` when the powerset would be too large; lookups then scan the
+    node's buckets with a subset test instead.
+    """
+
+    stream: str
+    item_path: Path
+    details: FrozenSet[Detail]
+    signatures: Optional[Tuple[ContentSignature, ...]]
+
+    @classmethod
+    def from_subscription(cls, subscription: StreamProperties) -> "SubscriptionProbe":
+        details = _compatible_details(subscription)
+        signatures: Optional[Tuple[ContentSignature, ...]] = None
+        if len(details) <= _MAX_ENUMERATED_DETAILS:
+            # key=repr: details mix strings, paths, and None, which do
+            # not order against each other; repr gives a total order.
+            ordered = sorted(details, key=repr)
+            signatures = tuple(
+                ContentSignature(
+                    subscription.stream,
+                    subscription.item_path,
+                    frozenset(subset),
+                )
+                for size in range(len(ordered) + 1)
+                for subset in combinations(ordered, size)
+            )
+        return cls(
+            stream=subscription.stream,
+            item_path=subscription.item_path,
+            details=details,
+            signatures=signatures,
+        )
+
+    def covers(self, signature: ContentSignature) -> bool:
+        """Structural compatibility: could a stream with ``signature``
+        match this subscription input?"""
+        return (
+            signature.stream == self.stream
+            and signature.item_path == self.item_path
+            and signature.details <= self.details
+        )
+
+
+class StreamAvailabilityIndex:
+    """Inverted index ``node → content signature → stream ids``.
+
+    Mirrors :class:`~repro.sharing.plan.Deployment`'s availability
+    bookkeeping (a stream is available at every node of its route), but
+    bucketed by signature so ``Subscribe`` consults only structurally
+    compatible candidates.  Maintenance is strictly add/discard from
+    ``install_stream``/``release_stream`` — there is no rebuild path, so
+    the ``P14x`` invariants check it against the ground truth.
+    """
+
+    __slots__ = ("_buckets", "_signatures")
+
+    def __init__(self) -> None:
+        self._buckets: Dict[str, Dict[ContentSignature, Set[str]]] = {}
+        self._signatures: Dict[str, ContentSignature] = {}
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def add(
+        self, stream_id: str, content: StreamProperties, route: Sequence[str]
+    ) -> None:
+        signature = content_signature(content)
+        self._signatures[stream_id] = signature
+        for node in dict.fromkeys(route):
+            self._buckets.setdefault(node, {}).setdefault(signature, set()).add(
+                stream_id
+            )
+
+    def discard(self, stream_id: str, route: Sequence[str]) -> None:
+        """Remove one stream; idempotent, like ``release_stream``."""
+        signature = self._signatures.pop(stream_id, None)
+        if signature is None:
+            return
+        for node in dict.fromkeys(route):
+            per_node = self._buckets.get(node)
+            if per_node is None:
+                continue
+            bucket = per_node.get(signature)
+            if bucket is None:
+                continue
+            bucket.discard(stream_id)
+            if not bucket:
+                del per_node[signature]
+                if not per_node:
+                    del self._buckets[node]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def candidate_ids(self, node: str, probe: SubscriptionProbe) -> List[str]:
+        """Structurally compatible stream ids at ``node``, sorted.
+
+        A superset of the streams Algorithm 2 accepts there — every
+        pruned stream is a guaranteed non-match.
+        """
+        per_node = self._buckets.get(node)
+        if not per_node:
+            return []
+        ids: List[str] = []
+        signatures = probe.signatures
+        if signatures is not None and len(signatures) < len(per_node):
+            for signature in signatures:
+                bucket = per_node.get(signature)
+                if bucket:
+                    ids.extend(bucket)
+        else:
+            for signature, bucket in per_node.items():
+                if probe.covers(signature):
+                    ids.extend(bucket)
+        ids.sort()
+        return ids
+
+    # ------------------------------------------------------------------
+    # Introspection (verifier, tests)
+    # ------------------------------------------------------------------
+    def signature_of(self, stream_id: str) -> Optional[ContentSignature]:
+        return self._signatures.get(stream_id)
+
+    def entries(self) -> Iterator[Tuple[str, str, ContentSignature]]:
+        """Yield every ``(node, stream_id, signature)`` bucket entry."""
+        for node, per_node in self._buckets.items():
+            for signature, bucket in per_node.items():
+                for stream_id in bucket:
+                    yield node, stream_id, signature
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+
+def admission_order_key(properties: Properties) -> Tuple[object, ...]:
+    """Sort key for batch admission: most general subscriptions first.
+
+    Within a batch, a subscription whose delivered stream is a superset
+    of another's content should register first so the narrower one can
+    tap it.  Generality is approximated structurally — item-level before
+    aggregates (aggregate results can never serve item-level inputs),
+    fewer operators, fewer selection atoms (looser predicates), wider
+    projections — with the query name as the final total-order tiebreak.
+    """
+    inputs = properties.inputs
+    streams = tuple(sorted(sp.stream for sp in inputs))
+    has_aggregate = any(sp.aggregation is not None for sp in inputs)
+    operator_count = sum(len(sp.operators) for sp in inputs)
+    selection_atoms = sum(
+        len(sp.selection.graph) for sp in inputs if sp.selection is not None
+    )
+    projection_width = sum(
+        len(sp.projection.output_elements)
+        for sp in inputs
+        if sp.projection is not None
+    )
+    return (
+        streams,
+        int(has_aggregate),
+        operator_count,
+        selection_atoms,
+        -projection_width,
+        properties.name,
+    )

@@ -20,12 +20,13 @@ subscriptions served, and the estimated resource usage underlying
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..costmodel import NetworkUsage, PlanEffects
 from ..network.topology import Network
 from ..properties import OperatorSpec, Properties, StreamProperties
 from ..wxquery import AnalyzedQuery
+from .index import StreamAvailabilityIndex, SubscriptionProbe
 
 
 @dataclass(frozen=True)
@@ -169,6 +170,9 @@ class Deployment:
         self.queries: Dict[str, RegisteredQuery] = {}
         self.usage = NetworkUsage(net)
         self._available: Dict[str, List[str]] = {name: [] for name in net}
+        #: Inverted signature index over the same availability facts;
+        #: maintained in lock-step with ``_available`` (invariant P14x).
+        self.sharing_index = StreamAvailabilityIndex()
 
     # ------------------------------------------------------------------
     # Mutation
@@ -185,6 +189,7 @@ class Deployment:
             # setdefault: a super-peer may have rejoined the topology
             # after this deployment was constructed.
             self._available.setdefault(node, []).append(stream.stream_id)
+        self.sharing_index.add(stream.stream_id, stream.content, stream.route)
 
     def release_stream(self, stream_id: str) -> bool:
         """Uninstall one stream; idempotent and atomic.
@@ -207,6 +212,7 @@ class Deployment:
                 bucket.remove(stream_id)
             except ValueError:
                 pass  # index entry already gone; keep the removal atomic
+        self.sharing_index.discard(stream_id, stream.route)
         return True
 
     def register_query(self, record: RegisteredQuery) -> None:
@@ -227,6 +233,51 @@ class Deployment:
     def streams_at(self, node: str) -> List[InstalledStream]:
         """Streams available for sharing at ``node`` (on their route)."""
         return [self.streams[stream_id] for stream_id in self._available[node]]
+
+    def candidates_at(
+        self, node: str, probe: SubscriptionProbe
+    ) -> List[InstalledStream]:
+        """Indexed variant of :meth:`streams_at`: only streams
+        structurally compatible with ``probe``, sorted by stream id."""
+        return [
+            self.streams[stream_id]
+            for stream_id in self.sharing_index.candidate_ids(node, probe)
+        ]
+
+    def distinct_candidates_at(
+        self, node: str, probe: SubscriptionProbe
+    ) -> List[Tuple[InstalledStream, Set[str]]]:
+        """Indexed candidates grouped by *content*: one representative
+        stream per distinct content, plus the delivery targets of every
+        stream in the group.
+
+        Two streams with identical content tapped at the same node
+        produce byte-identical plan effects and cost — only the parent
+        linkage differs — so under the deterministic smallest-id-first
+        tie-break only the group's smallest id can ever win.  Matching
+        once per content and costing only the representative is
+        therefore plan-equivalent to the full scan; the targets keep
+        Algorithm 1's search frontier exact (every matched stream still
+        contributes its delivery target).
+
+        Representatives are returned in ascending stream-id order (the
+        group's smallest id; first occurrence over the id-sorted
+        candidate list).
+        """
+        representatives: Dict[StreamProperties, InstalledStream] = {}
+        targets: Dict[StreamProperties, Set[str]] = {}
+        order: List[StreamProperties] = []
+        for stream_id in self.sharing_index.candidate_ids(node, probe):
+            stream = self.streams[stream_id]
+            content = stream.content
+            group = targets.get(content)
+            if group is None:
+                representatives[content] = stream
+                targets[content] = {stream.target_node}
+                order.append(content)
+            else:
+                group.add(stream.target_node)
+        return [(representatives[content], targets[content]) for content in order]
 
     def original_streams(self) -> List[InstalledStream]:
         return [s for s in self.streams.values() if s.is_original]

@@ -18,17 +18,18 @@ module implements it in three parts:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..costmodel import (
     CostModel,
     LatencyModel,
     PlanEffects,
     StatisticsCatalog,
+    StreamRate,
     base_load,
     estimate_stream_rate,
 )
-from ..network.routing import shortest_path
+from ..network.routing import RouteCache
 from ..network.topology import Network
 from ..properties import (
     AggregationSpec,
@@ -110,6 +111,31 @@ class Planner:
         self.catalog = catalog
         self.cost_model = cost_model
         self.latency_model = latency_model or LatencyModel()
+        #: Shortest-path memo; invalidated by the topology's churn
+        #: version counter, so repairs re-route automatically.
+        self.routes = RouteCache(net)
+        # size(p)/freq(p) memo: a stream's rate depends only on its
+        # immutable content and the catalog entry of its original
+        # stream, which is registered once and never mutated.
+        self._rate_cache: Dict[StreamProperties, StreamRate] = {}
+        # Content intern table: equal contents recur constantly in
+        # template-style workloads, and every dict probe on a *distinct*
+        # equal object pays a full structural __eq__.  Interning makes
+        # recurring contents pointer-identical so those probes hit the
+        # dict's identity fast-path.
+        self._contents: Dict[StreamProperties, StreamProperties] = {}
+
+    def intern_content(self, content: StreamProperties) -> StreamProperties:
+        """Canonical instance for ``content`` (equality-preserving)."""
+        return self._contents.setdefault(content, content)
+
+    def stream_rate(self, content: StreamProperties) -> StreamRate:
+        """Memoized :func:`~repro.costmodel.estimate_stream_rate`."""
+        rate = self._rate_cache.get(content)
+        if rate is None:
+            rate = estimate_stream_rate(content, self.catalog)
+            self._rate_cache[content] = rate
+        return rate
 
     # ------------------------------------------------------------------
     # Plan construction
@@ -162,7 +188,7 @@ class Planner:
         relay: Optional[InstalledStream] = None
         delivered_parent = candidate.stream_id
         if placement_node != tap_node:
-            relay_route = tuple(shortest_path(self.net, tap_node, placement_node))
+            relay_route = self.routes.path(tap_node, placement_node)
             relay = InstalledStream(
                 stream_id=f"{query_name}:{subscription.stream}:relay",
                 content=candidate.content,
@@ -174,7 +200,7 @@ class Planner:
             )
             delivered_parent = relay.stream_id
 
-        delivered_route = tuple(shortest_path(self.net, placement_node, subscriber_node))
+        delivered_route = self.routes.path(placement_node, subscriber_node)
         delivered = InstalledStream(
             stream_id=f"{query_name}:{subscription.stream}",
             content=subscription,
@@ -213,8 +239,8 @@ class Planner:
         subscription: StreamProperties,
     ) -> PlanEffects:
         effects = PlanEffects()
-        reused_rate = estimate_stream_rate(candidate.content, self.catalog)
-        delivered_rate = estimate_stream_rate(subscription, self.catalog)
+        reused_rate = self.stream_rate(candidate.content)
+        delivered_rate = self.stream_rate(subscription)
 
         # Duplicating the reused stream at the tap node.
         self._charge(effects, tap_node, "duplicate", reused_rate.frequency)

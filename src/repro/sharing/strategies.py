@@ -36,6 +36,7 @@ class StrategyRegistrar:
         admission_control: bool = False,
         share_aggregates: bool = True,
         enable_widening: bool = False,
+        use_index: bool = True,
     ) -> None:
         if strategy not in STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}; pick one of {STRATEGIES}")
@@ -49,6 +50,7 @@ class StrategyRegistrar:
             admission_control=admission_control,
             share_aggregates=share_aggregates,
             enable_widening=enable_widening,
+            use_index=use_index,
         )
 
     # ------------------------------------------------------------------

@@ -25,9 +25,10 @@ from dataclasses import dataclass
 from typing import Deque, List, Optional, Set
 
 from ..costmodel import LatencyModel
-from ..matching import match_stream_properties
+from ..matching import MatchMemo, match_stream_properties
 from ..properties import Properties, StreamProperties
 from ..wxquery import AnalyzedQuery
+from .index import SubscriptionProbe
 from .plan import Deployment, EvaluationPlan, InputPlan, InstalledStream, RegisteredQuery
 from .planner import Planner, PlanningError
 
@@ -54,6 +55,7 @@ class Subscriber:
         admission_control: bool = False,
         share_aggregates: bool = True,
         enable_widening: bool = False,
+        use_index: bool = True,
     ) -> None:
         if search_order not in ("bfs", "dfs"):
             raise ValueError("search_order must be 'bfs' or 'dfs'")
@@ -67,6 +69,15 @@ class Subscriber:
         #: The Section 6 enhancement: consider widening almost-matching
         #: streams (see :mod:`repro.sharing.widening`).
         self.enable_widening = enable_widening
+        #: Control-plane scale-up: consult the deployment's
+        #: StreamAvailabilityIndex instead of scanning every stream at a
+        #: node, and memoize matching verdicts.  Plan-equivalent to the
+        #: brute-force scan (the index only prunes guaranteed
+        #: non-matches); ``False`` keeps the paper-faithful linear scan,
+        #: e.g. as the benchmark baseline.  Widening needs the near-miss
+        #: candidates the index would prune, so it forces the scan.
+        self.use_index = use_index
+        self.match_memo = MatchMemo() if use_index else None
         if enable_widening:
             from .widening import WideningPlanner
 
@@ -147,6 +158,16 @@ class Subscriber:
         )
         best = initial_candidates[0]
 
+        # Widening needs the almost-matching candidates the signature
+        # index prunes, so it falls back to the full per-node scan.
+        probe: Optional[SubscriptionProbe] = None
+        if self.use_index and not self.enable_widening:
+            # Interning makes recurring contents pointer-identical, so
+            # memo/index/rate-cache probes short-circuit on identity
+            # instead of re-running structural equality.
+            subscription_input = self.planner.intern_content(subscription_input)
+            probe = SubscriptionProbe.from_subscription(subscription_input)
+
         marked: Set[str] = set()
         queue: Deque[str] = deque([original.origin_node])           # line 6
 
@@ -156,34 +177,82 @@ class Subscriber:
                 continue
             marked.add(node)                                        # line 8
             plan.visited_nodes += 1
+            # Delivery targets of matched streams (line 15); enqueued
+            # after the candidate loop in sorted order so both search
+            # paths expand the frontier identically.
+            matched_targets: Set[str] = set()
 
-            for candidate in self._variants_at(deployment, node, subscription_input):
-                if not self.share_aggregates and candidate.content.aggregation is not None:
-                    continue
-                plan.candidate_matches += 1
-                if not match_stream_properties(                     # line 14
-                    candidate.content, subscription_input, self.match_mode
+            if probe is not None:
+                # Indexed path: one representative per distinct content.
+                # Same-content streams tapped at the same node plan
+                # identically, and only the smallest id can win the
+                # strict-< tie-break, so matching and costing the
+                # representative is plan-equivalent to the full scan.
+                for candidate, targets in deployment.distinct_candidates_at(
+                    node, probe
                 ):
-                    widened = self._widening_variant(
-                        deployment, candidate, node, subscription_input,
-                        query_name, subscriber_node,
-                    )
-                    if widened is not None and widened.cost < best.cost:
-                        best = widened
-                    continue
-                target = candidate.target_node                      # line 15
-                if target not in marked and target not in queue:    # lines 16–18
+                    if (
+                        not self.share_aggregates
+                        and candidate.content.aggregation is not None
+                    ):
+                        continue
+                    plan.candidate_matches += 1
+                    if not match_stream_properties(                 # line 14
+                        candidate.content,
+                        subscription_input,
+                        self.match_mode,
+                        self.match_memo,
+                    ):
+                        continue  # widening forces probe=None, no fallback here
+                    matched_targets.update(targets)                 # line 15
+                    for variant in self.planner.plans_for_candidate(  # line 19
+                        deployment,
+                        candidate,
+                        node,
+                        subscription_input,
+                        query_name,
+                        subscriber_node,
+                    ):
+                        if variant.cost < best.cost:                # lines 20–22
+                            best = variant
+            else:
+                for candidate in self._variants_at(
+                    deployment, node, subscription_input
+                ):
+                    if (
+                        not self.share_aggregates
+                        and candidate.content.aggregation is not None
+                    ):
+                        continue
+                    plan.candidate_matches += 1
+                    if not match_stream_properties(                 # line 14
+                        candidate.content,
+                        subscription_input,
+                        self.match_mode,
+                        self.match_memo,
+                    ):
+                        widened = self._widening_variant(
+                            deployment, candidate, node, subscription_input,
+                            query_name, subscriber_node,
+                        )
+                        if widened is not None and widened.cost < best.cost:
+                            best = widened
+                        continue
+                    matched_targets.add(candidate.target_node)      # line 15
+                    for variant in self.planner.plans_for_candidate(  # line 19
+                        deployment,
+                        candidate,
+                        node,
+                        subscription_input,
+                        query_name,
+                        subscriber_node,
+                    ):
+                        if variant.cost < best.cost:                # lines 20–22
+                            best = variant
+
+            for target in sorted(matched_targets):                  # lines 16–18
+                if target not in marked and target not in queue:
                     queue.append(target)
-                for variant in self.planner.plans_for_candidate(    # line 19
-                    deployment,
-                    candidate,
-                    node,
-                    subscription_input,
-                    query_name,
-                    subscriber_node,
-                ):
-                    if variant.cost < best.cost:                    # lines 20–22
-                        best = variant
         return best
 
     def _widening_variant(
@@ -227,15 +296,26 @@ class Subscriber:
 
     @staticmethod
     def _variants_at(
-        deployment: Deployment, node: str, subscription_input: StreamProperties
+        deployment: Deployment,
+        node: str,
+        subscription_input: StreamProperties,
     ) -> List[InstalledStream]:
         """Line 9: streams available at ``node`` derived from the same
-        original input stream."""
-        return [
-            stream
-            for stream in deployment.streams_at(node)
-            if stream.content.stream == subscription_input.stream
-        ]
+        original input stream (the brute-force scan; the indexed path
+        uses ``Deployment.distinct_candidates_at``).
+
+        Candidates are sorted by stream id so equal-cost plans tie-break
+        identically in both search paths — the ``best`` updates use
+        strict ``<``, so the first-iterated candidate wins.
+        """
+        return sorted(
+            (
+                stream
+                for stream in deployment.streams_at(node)
+                if stream.content.stream == subscription_input.stream
+            ),
+            key=lambda stream: stream.stream_id,
+        )
 
     # ------------------------------------------------------------------
     def _commit(

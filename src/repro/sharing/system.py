@@ -12,7 +12,7 @@ Typical use (see ``examples/quickstart.py``)::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..costmodel import (
     CostModel,
@@ -59,6 +59,7 @@ class StreamGlobe:
         admission_control: bool = False,
         share_aggregates: bool = True,
         enable_widening: bool = False,
+        use_index: bool = True,
         latency_model: Optional[LatencyModel] = None,
         verify: bool = False,
     ) -> None:
@@ -75,6 +76,7 @@ class StreamGlobe:
             admission_control=admission_control,
             share_aggregates=share_aggregates,
             enable_widening=enable_widening,
+            use_index=use_index,
         )
         self.deployment = Deployment(net)
         self.sources: Dict[str, SourceRegistration] = {}
@@ -149,8 +151,6 @@ class StreamGlobe:
         Returns the installed stream; it participates in sharing like
         any query-generated stream.
         """
-        from ..network.routing import shortest_path
-
         parent = self.deployment.stream(parent_id)
         origin = tap_node or parent.origin_node
         if origin not in parent.route:
@@ -166,7 +166,7 @@ class StreamGlobe:
             stream_id=stream_id,
             content=content,
             origin_node=origin,
-            route=tuple(shortest_path(self.net, origin, self.net.home_of(target))),
+            route=self.planner.routes.path(origin, self.net.home_of(target)),
             parent_id=parent_id,
             pipeline=tuple(pipeline),
         )
@@ -185,10 +185,10 @@ class StreamGlobe:
         Mirrors :meth:`Deregistrar._release_stream` so deregistration
         returns the ledger to zero.
         """
-        from ..costmodel import PlanEffects, base_load, estimate_stream_rate
+        from ..costmodel import PlanEffects, base_load
 
         effects = PlanEffects()
-        rate = estimate_stream_rate(stream.content, self.catalog)
+        rate = self.planner.stream_rate(stream.content)
 
         def charge(node: str, kind: str, frequency: float) -> None:
             peer = self.net.super_peer(node)
@@ -205,7 +205,7 @@ class StreamGlobe:
             else None
         )
         if parent is not None:
-            parent_rate = estimate_stream_rate(parent.content, self.catalog)
+            parent_rate = self.planner.stream_rate(parent.content)
             charge(stream.origin_node, "duplicate", parent_rate.frequency)
             frequency = parent_rate.frequency
             for spec in stream.pipeline:
@@ -269,6 +269,73 @@ class StreamGlobe:
         self.results.append(result)
         self._preflight(f"after registering query {name!r}")
         return result
+
+    def register_queries(
+        self,
+        batch: Sequence[Tuple[str, Union[str, Query], str]],
+    ) -> List[RegistrationResult]:
+        """Batch admission: register many subscriptions in one call.
+
+        ``batch`` is a sequence of ``(name, query, subscriber_peer)``
+        entries.  Compared to a loop over :meth:`register_query`, batch
+        admission
+
+        * parses and analyzes each *distinct* query text once,
+        * admits the batch most-general-first
+          (:func:`~repro.sharing.index.admission_order_key`), so broad
+          subscriptions install the streams the narrow ones then tap —
+          maximizing intra-batch sharing regardless of caller order,
+        * runs the (optional) verification pre-flight once per batch
+          instead of once per query.
+
+        Results are returned in the *caller's* order.  Admission order
+        is an optimization heuristic only — every plan is still chosen
+        by the same cost-based search, and each registration sees all
+        previously admitted streams.
+        """
+        names = [name for name, _, _ in batch]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise ValueError(
+                f"duplicate query name(s) in batch: {', '.join(sorted(duplicates))}"
+            )
+
+        from .index import admission_order_key
+
+        parsed_cache: Dict[str, Query] = {}
+        analyzed_cache: Dict[int, object] = {}
+        prepared = []
+        for name, query, subscriber_peer in batch:
+            if isinstance(query, str):
+                parsed = parsed_cache.get(query)
+                if parsed is None:
+                    parsed = parse_query(query)
+                    parsed_cache[query] = parsed
+            else:
+                parsed = query
+            analyzed = analyzed_cache.get(id(parsed))
+            if analyzed is None:
+                analyzed = analyze(parsed)
+                analyzed_cache[id(parsed)] = analyzed
+            properties = extract_from_analysis(analyzed, name)
+            prepared.append(
+                (name, properties, analyzed, self.net.home_of(subscriber_peer))
+            )
+
+        order = sorted(
+            range(len(prepared)),
+            key=lambda i: admission_order_key(prepared[i][1]),
+        )
+        by_name: Dict[str, RegistrationResult] = {}
+        for i in order:
+            name, properties, analyzed, subscriber_node = prepared[i]
+            result = self.registrar.register(
+                self.deployment, properties, analyzed, subscriber_node
+            )
+            self.results.append(result)
+            by_name[name] = result
+        self._preflight(f"after batch registration of {len(prepared)} queries")
+        return [by_name[name] for name in names]
 
     def deregister_query(self, name: str) -> List[str]:
         """Remove a subscription and garbage-collect its streams.
