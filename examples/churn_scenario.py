@@ -11,6 +11,14 @@ byte-identical results.
 Run with::
 
     python examples/churn_scenario.py
+    python examples/churn_scenario.py --trace   # also write churn_run.jsonl
+                                                # + churn_trace.json
+
+With ``--trace`` the faulted run is recorded through ``repro.obs``:
+``churn_run.jsonl`` feeds ``python -m repro.obs summarize`` and
+``churn_trace.json`` opens in chrome://tracing or ui.perfetto.dev,
+showing the planner span tree and the per-epoch CPU/traffic series
+around the crash (DESIGN.md §10).
 """
 
 import os
@@ -23,8 +31,8 @@ from repro.workload.scenarios import scenario_churn
 from repro.xmlkit.serializer import serialize
 
 
-def execute(scenario, faulted):
-    run = run_scenario(scenario, "stream-sharing", execute=False)
+def execute(scenario, faulted, recorder=None):
+    run = run_scenario(scenario, "stream-sharing", execute=False, recorder=recorder)
     outputs = {spec.name: [] for spec in scenario.queries}
     metrics = run.system.run(
         scenario.duration,
@@ -35,14 +43,21 @@ def execute(scenario, faulted):
 
 
 def main() -> None:
+    trace = "--trace" in sys.argv[1:]
     scenario = scenario_churn()
     print(f"scenario: {scenario.name}, {len(scenario.queries)} queries, "
           f"{scenario.duration:g}s of stream time")
     for line in scenario.faults.describe():
         print(f"  {line}")
 
+    recorder = None
+    if trace:
+        from repro.obs import Recorder
+
+        recorder = Recorder()
+
     _, _, baseline = execute(scenario, faulted=False)
-    system, metrics, churned = execute(scenario, faulted=True)
+    system, metrics, churned = execute(scenario, faulted=True, recorder=recorder)
 
     # Which subscriptions did the faults actually touch?
     probe = run_scenario(scenario, "stream-sharing", execute=False)
@@ -67,6 +82,18 @@ def main() -> None:
     survivors = system.net.super_peer_names()
     print(f"backbone after the run: {len(survivors)} super-peers "
           f"(removed: {system.net.removed_super_peer_names() or 'none'})")
+
+    if recorder is not None:
+        from repro.obs import write_chrome_trace, write_jsonl
+
+        write_jsonl(recorder, "churn_run.jsonl", net=system.net,
+                    extra={"scenario": scenario.name, "strategy": "stream-sharing",
+                           "duration_s": scenario.duration})
+        write_chrome_trace(recorder, "churn_trace.json")
+        print(f"\ntraced: {len(recorder.spans)} spans, "
+              f"{len(recorder.epochs)} epochs, {len(recorder.events)} events")
+        print("  churn_run.jsonl   -> python -m repro.obs summarize churn_run.jsonl")
+        print("  churn_trace.json  -> open in chrome://tracing or ui.perfetto.dev")
 
 
 if __name__ == "__main__":

@@ -6,6 +6,7 @@ Usage::
     python -m repro.bench fig7        # Figure 7 (scenario 2)
     python -m repro.bench table1      # Table 1 (registration times)
     python -m repro.bench rejection   # the constrained-capacity study
+    python -m repro.bench caches      # cache hit rates + planner phases
     python -m repro.bench all
 """
 
@@ -20,7 +21,9 @@ from ..workload.scenarios import scenario_one, scenario_two
 from .harness import ScenarioRun, run_scenario
 from .report import (
     accumulated_traffic_report,
+    cache_report,
     cpu_report,
+    planner_phase_report,
     registration_table,
     rejection_report,
     traffic_report,
@@ -80,11 +83,28 @@ def cmd_rejection() -> None:
     print(rejection_report(runs))
 
 
+def cmd_caches() -> None:
+    from ..obs import Recorder
+
+    print("=== Control-plane caches and planner phases "
+          "(scenario 1, registration only, traced) ===\n")
+    runs = {
+        strategy: run_scenario(
+            scenario_one(), strategy, execute=False, recorder=Recorder()
+        )
+        for strategy in STRATEGIES
+    }
+    print(cache_report(runs))
+    print()
+    print(planner_phase_report(runs))
+
+
 COMMANDS = {
     "fig6": cmd_fig6,
     "fig7": cmd_fig7,
     "table1": cmd_table1,
     "rejection": cmd_rejection,
+    "caches": cmd_caches,
 }
 
 

@@ -91,6 +91,27 @@ class ScenarioRun:
         assert self.metrics is not None
         return self.metrics.total_mbit()
 
+    def cache_hit_rates(self) -> Dict[str, float]:
+        """Hit rate per control-plane cache (always available)."""
+        return {
+            name: stats["hit_rate"]
+            for name, stats in self.system.cache_stats().items()
+        }
+
+    def planner_phase_seconds(self) -> Dict[str, float]:
+        """Total wall seconds per control-plane span name.
+
+        Empty unless the run was traced (a :class:`~repro.obs.Recorder`
+        was handed to :func:`run_scenario`).
+        """
+        recorder = self.system.recorder
+        if not recorder.enabled:
+            return {}
+        return {
+            name: totals["total_s"]
+            for name, totals in recorder.span_totals().items()
+        }
+
 
 def run_scenario(
     scenario: Scenario,
@@ -105,11 +126,17 @@ def run_scenario(
     link_bandwidth: Optional[float] = None,
     execute: bool = True,
     use_index: bool = True,
+    recorder=None,
 ) -> ScenarioRun:
     """Register a scenario's workload under ``strategy`` and execute it.
 
     ``execute=False`` skips the measured simulation (used by
     registration-only experiments like Table 1 and the rejection study).
+
+    ``recorder`` — an optional :class:`~repro.obs.Recorder` handed to
+    the system, capturing control-plane spans and the data-plane epoch
+    series for the whole scenario (``python -m repro.obs record`` uses
+    this).
     """
     net = scenario.build_network()
     if not math.isclose(capacity_factor, 1.0) or link_bandwidth is not None:
@@ -125,6 +152,7 @@ def run_scenario(
         share_aggregates=share_aggregates,
         enable_widening=enable_widening,
         use_index=use_index,
+        recorder=recorder,
     )
     for source in scenario.sources:
         system.register_stream(

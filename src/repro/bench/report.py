@@ -98,6 +98,73 @@ def registration_table(
     return _format_table(header, rows) + "\n(Query registration times, ms)"
 
 
+#: Preferred display order of control-plane span names; span names not
+#: listed here render after these, in first-seen order.
+PLANNER_PHASE_ORDER = (
+    "register",
+    "parse",
+    "analyze",
+    "plan",
+    "search",
+    "commit",
+    "deregister",
+    "repair",
+    "repair.damage",
+    "repair.teardown",
+    "repair.reregister",
+)
+
+
+def cache_report(runs: Dict[str, ScenarioRun]) -> str:
+    """Control-plane cache effectiveness: hit rate per cache × strategy.
+
+    Always available — the cache counters are kept regardless of
+    tracing (DESIGN.md §10).
+    """
+    rates = {strategy: run.cache_hit_rates() for strategy, run in runs.items()}
+    caches: List[str] = []
+    for per_cache in rates.values():
+        for name in per_cache:
+            if name not in caches:
+                caches.append(name)
+    header = ["Cache"] + [STRATEGY_LABELS.get(s, s) for s in runs]
+    rows = [
+        [cache]
+        + [
+            f"{rates[s][cache] * 100.0:.1f}" if cache in rates[s] else "-"
+            for s in runs
+        ]
+        for cache in caches
+    ]
+    return _format_table(header, rows) + "\n(Cache hit rate, %)"
+
+
+def planner_phase_report(runs: Dict[str, ScenarioRun]) -> str:
+    """Per-phase planner wall time (ms) per strategy.
+
+    Only traced runs (a Recorder handed to ``run_scenario``) carry span
+    timings; untraced strategies render as ``-``.
+    """
+    totals = {strategy: run.planner_phase_seconds() for strategy, run in runs.items()}
+    phases = [p for p in PLANNER_PHASE_ORDER if any(p in t for t in totals.values())]
+    for per_phase in totals.values():
+        for name in per_phase:
+            if name not in phases:
+                phases.append(name)
+    if not phases:
+        return "planner phase timings: none (no traced run; pass a Recorder)"
+    header = ["Phase"] + [STRATEGY_LABELS.get(s, s) for s in runs]
+    rows = [
+        [phase]
+        + [
+            f"{totals[s][phase] * 1000.0:.1f}" if phase in totals[s] else "-"
+            for s in runs
+        ]
+        for phase in phases
+    ]
+    return _format_table(header, rows) + "\n(Planner phase wall time, ms)"
+
+
 def rejection_report(runs: Dict[str, ScenarioRun]) -> str:
     header = ["Strategy", "Accepted", "Rejected"]
     rows = [

@@ -15,7 +15,11 @@ reports, per workload size:
   decisions (reused stream, tap node, placement node) for every query —
   the index is an optimization, never a behavior change;
 * throughput of :meth:`~repro.sharing.system.StreamGlobe.register_queries`
-  batch admission on the same workload.
+  batch admission on the same workload;
+* per-mode ``cache_hit_rate`` (route / rate / match caches) and
+  ``planner_phase_s`` (wall time per control-plane span: register,
+  analyze, plan, search, commit — DESIGN.md §10), so later PRs can
+  gate on cache effectiveness and phase cost.
 
 The report is written to ``BENCH_PR4.json`` at the repo root by
 default.  Query parsing happens outside the timed region (identical in
@@ -45,6 +49,7 @@ import sys
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs.recorder import Recorder
 from ..sharing.system import StreamGlobe
 from ..workload.scenarios import Scenario, scenario_grid
 from ..wxquery import Query, parse_query
@@ -73,9 +78,14 @@ def _parse_workload(scenario: Scenario) -> Dict[str, Query]:
     return parsed
 
 
-def _build_system(scenario: Scenario, use_index: bool) -> StreamGlobe:
+def _build_system(
+    scenario: Scenario, use_index: bool, recorder: Optional[Recorder] = None
+) -> StreamGlobe:
     system = StreamGlobe(
-        scenario.build_network(), strategy="stream-sharing", use_index=use_index
+        scenario.build_network(),
+        strategy="stream-sharing",
+        use_index=use_index,
+        recorder=recorder,
     )
     for source in scenario.sources:
         system.register_stream(
@@ -96,7 +106,11 @@ Decision = Tuple[bool, Tuple[Tuple[str, str, str, str], ...]]
 def _register_sequential(
     scenario: Scenario, parsed: Dict[str, Query], use_index: bool
 ) -> Dict[str, Any]:
-    system = _build_system(scenario, use_index)
+    # Traced so the report carries per-phase planner times.  Both modes
+    # are traced identically, so the gated ``speedup`` ratio is
+    # unaffected by the (small) span overhead inside the timed region.
+    recorder = Recorder()
+    system = _build_system(scenario, use_index, recorder=recorder)
     decisions: Dict[str, Decision] = {}
     candidate_matches = 0
     accepted = 0
@@ -127,6 +141,14 @@ def _register_sequential(
             "candidate_matches": candidate_matches,
             "matches_per_registration": round(candidate_matches / count, 1),
             "streams": len(system.deployment.streams),
+            "cache_hit_rate": {
+                name: round(stats["hit_rate"], 4)
+                for name, stats in system.cache_stats().items()
+            },
+            "planner_phase_s": {
+                name: round(totals["total_s"], 3)
+                for name, totals in recorder.span_totals().items()
+            },
         },
     }
 

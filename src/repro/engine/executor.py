@@ -65,6 +65,8 @@ from ..xmlkit import Element
 if TYPE_CHECKING:  # avoid a runtime cycle with repro.sharing
     from ..faults.schedule import FaultSchedule
     from ..sharing.plan import Deployment, InstalledStream, RegisteredQuery
+from ..obs.recorder import NULL_RECORDER
+from ..obs.timeseries import snapshot_delta
 from .fanout import PrefixStage, PrefixTree, _Gauge, group_pipelines
 from .metrics import RunMetrics
 from .pipeline import Pipeline
@@ -349,6 +351,18 @@ class StreamSimulator:
         Optional ``(query_name, result_item)`` hook observing every
         restructured result delivered to a subscriber — the golden
         fault-equivalence tests compare these item-for-item.
+    recorder:
+        Optional :class:`~repro.obs.Recorder`.  When enabled, the run
+        is split into epochs (``epoch_samples`` fixed boundaries plus
+        every fault/recovery boundary) and one
+        :class:`~repro.obs.EpochSnapshot` per epoch is emitted, along
+        with per-operator latency histograms and item counters.  The
+        default is the shared no-op recorder: every instrumentation
+        site then costs a single attribute or ``None`` check
+        (DESIGN.md §10).
+    epoch_samples:
+        Number of evenly spaced time-series sampling boundaries a
+        traced run is split into (faults add their own boundaries).
 
     After :meth:`run`, ``peak_live_items`` holds the maximum number of
     stream items the executor held in flight at any moment — bounded by
@@ -367,6 +381,8 @@ class StreamSimulator:
         schedule: Optional["FaultSchedule"] = None,
         repair: Optional[Callable[..., object]] = None,
         capture: Optional[Callable[[str, Element], None]] = None,
+        recorder: Optional[object] = None,
+        epoch_samples: int = 8,
     ) -> None:
         if duration <= 0:
             raise ExecutionError("duration must be positive")
@@ -381,6 +397,8 @@ class StreamSimulator:
         self.schedule = schedule
         self.repair = repair
         self.capture = capture
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.epoch_samples = epoch_samples
         self.peak_live_items = 0
 
     # ------------------------------------------------------------------
@@ -409,7 +427,20 @@ class StreamSimulator:
         self._recovery_time_s = 0.0
         self._queries_repaired = 0
 
-        if self.schedule:
+        recorder = self.recorder
+        self._epoch_index = 0
+        self._epoch_start = 0.0
+        self._last_metrics: Optional[RunMetrics] = None
+        self._last_operator_totals: Optional[Dict[str, int]] = None
+        self._op_timer = self._make_op_timer() if recorder.enabled else None
+
+        if self.schedule or recorder.enabled:
+            # Traced runs always take the epoch path: sources advance in
+            # interleaved time slices so snapshots cut across the whole
+            # deployment.  Per-stream results are unchanged — sources
+            # are independent DAG roots, operators are deterministic,
+            # and multi-input combination runs over the full buffers at
+            # finish() — so metrics match the untraced single-pass run.
             self._run_epochs(gauge)
         else:
             for stream in order:
@@ -419,7 +450,16 @@ class StreamSimulator:
             delivery.finish()
 
         self.peak_live_items = gauge.peak
-        return self._account(self._topological_streams(), nodes)
+        metrics = self._account(self._topological_streams(), nodes)
+        if recorder.enabled:
+            # The final epoch is emitted after finish(): multi-input
+            # subscriptions only restructure (and bill) their buffered
+            # items there, so snapshotting at the duration boundary
+            # would miss that work.
+            self._emit_epoch(self.duration, metrics)
+            recorder.set_gauge("exec.peak_live_items", gauge.peak)
+            recorder.inc("exec.runs")
+        return metrics
 
     # ------------------------------------------------------------------
     # Fault-scheduled execution
@@ -428,19 +468,40 @@ class StreamSimulator:
         """Pump sources epoch by epoch, applying faults at boundaries.
 
         Boundaries are the scheduled fault times plus each repair's
-        recovery completion (when its gated deliveries reopen).
+        recovery completion (when its gated deliveries reopen); a
+        traced run adds ``epoch_samples`` evenly spaced sampling
+        boundaries and emits one time-series snapshot per epoch —
+        *before* the boundary's faults apply, so churn transients land
+        in the following epochs.
         """
-        events = [e for e in self.schedule.events() if e.time < self.duration]
+        events = (
+            [e for e in self.schedule.events() if e.time < self.duration]
+            if self.schedule
+            else []
+        )
+        recorder = self.recorder
+        samples: List[float] = []
+        if recorder.enabled and self.epoch_samples > 0:
+            step = self.duration / self.epoch_samples
+            samples = [step * k for k in range(1, self.epoch_samples)]
+        sample_index = 0
         opens: List[Tuple[float, int, _Gate]] = []
         sequence = 0
         index = 0
         while True:
             next_fault = events[index].time if index < len(events) else math.inf
             next_open = opens[0][0] if opens else math.inf
-            boundary = min(next_fault, next_open, self.duration)
+            next_sample = (
+                samples[sample_index] if sample_index < len(samples) else math.inf
+            )
+            boundary = min(next_fault, next_open, next_sample, self.duration)
             self._pump_all_until(boundary, gauge)
             if boundary >= self.duration:
                 break
+            while sample_index < len(samples) and samples[sample_index] <= boundary:
+                sample_index += 1
+            if recorder.enabled:
+                self._emit_epoch(boundary)
             # Recovery completions first: a fault striking the instant a
             # previous recovery ends sees the recovered subscriptions.
             while opens and opens[0][0] <= boundary:
@@ -471,6 +532,12 @@ class StreamSimulator:
         """
         event.apply(self.net)
         self._faults_applied += 1
+        recorder = self.recorder
+        if recorder.enabled:
+            recorder.event(
+                "fault.applied", stream_time=event.time, fault=event.describe()
+            )
+            recorder.inc("exec.faults_applied")
         report = (
             self.repair(context=event.describe()) if self.repair is not None else None
         )
@@ -769,11 +836,76 @@ class StreamSimulator:
         for relay in node.relay_children:
             self._pump(relay, batch, gauge)
         for _, trie, _ in node.trie_groups:
-            trie.evaluate(batch, self._emit, gauge)
+            trie.evaluate(batch, self._emit, gauge, self._op_timer)
         gauge.sub(len(batch))
 
     def _emit(self, stream_id: str, out: List[Element]) -> None:
         self._pump(self._nodes[stream_id], out, self._gauge)
+
+    # ------------------------------------------------------------------
+    # Observability (traced runs only; see DESIGN.md §10)
+    # ------------------------------------------------------------------
+    def _make_op_timer(self) -> Callable[[PrefixStage, int, float], None]:
+        """Build the per-stage timer handed to the shared-prefix tries."""
+        recorder = self.recorder
+
+        def op_timer(stage: PrefixStage, inputs: int, seconds: float) -> None:
+            name = getattr(stage.spec, "name", None) or stage.operator.kind
+            recorder.observe(f"op.{name}.batch_s", seconds)
+            recorder.inc(f"op.{name}.items", inputs)
+
+        return op_timer
+
+    def _operator_totals(self) -> Dict[str, int]:
+        """Cumulative billed inputs per operator name (live + retired).
+
+        Follows the accounting convention: a shared trie stage is billed
+        once per stream whose pipeline runs through it, so the totals
+        stay comparable with the cost model's per-stream charges.
+        """
+        totals: Dict[str, int] = {}
+        for retired in self._retired:
+            for kind, udf_name, inputs in retired.stage_counts:
+                name = udf_name or kind
+                totals[name] = totals.get(name, 0) + inputs
+        for node in self._nodes.values():
+            for stage in node.stage_path:
+                name = getattr(stage.spec, "name", None) or stage.operator.kind
+                totals[name] = totals.get(name, 0) + stage.input_count
+        return totals
+
+    def _emit_epoch(
+        self, t_end: float, metrics: Optional[RunMetrics] = None
+    ) -> None:
+        """Snapshot the delta since the previous epoch boundary.
+
+        ``metrics`` is the cumulative accounting replay at ``t_end``
+        (recomputed here when not supplied) — :meth:`_account` is a pure
+        replay of accumulated counters, so calling it mid-run observes
+        without perturbing the execution.
+        """
+        if t_end <= self._epoch_start and self._epoch_index > 0:
+            return  # coincident boundaries: nothing elapsed
+        if metrics is None:
+            metrics = self._account(self._topological_streams(), self._nodes)
+        totals = self._operator_totals()
+        snapshot = snapshot_delta(
+            self._epoch_index,
+            self._epoch_start,
+            t_end,
+            metrics,
+            self._last_metrics,
+            self.net,
+            totals,
+            self._last_operator_totals,
+            inflight_items=self._gauge.current,
+            inflight_peak=self._gauge.take_window_peak(),
+        )
+        self.recorder.add_epoch(snapshot)
+        self._epoch_index += 1
+        self._epoch_start = t_end
+        self._last_metrics = metrics
+        self._last_operator_totals = totals
 
     # ------------------------------------------------------------------
     # Metrics replay
@@ -918,6 +1050,7 @@ class MaterializingSimulator:
         generators: Dict[str, ItemGenerator],
         duration: float,
         max_items_per_source: Optional[int] = None,
+        recorder: Optional[object] = None,
     ) -> None:
         if duration <= 0:
             raise ExecutionError("duration must be positive")
@@ -926,6 +1059,7 @@ class MaterializingSimulator:
         self.generators = generators
         self.duration = duration
         self.max_items = max_items_per_source
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.peak_live_items = 0
 
     # ------------------------------------------------------------------
@@ -983,9 +1117,21 @@ class MaterializingSimulator:
             return parent_items  # pure relay: content unchanged
 
         pipeline = Pipeline.from_specs(stream.pipeline, stream.content.item_path)
+        recorder = self.recorder
+        timer = None
+        if recorder.enabled:
+
+            def timer(operator, inputs, seconds):
+                name = (
+                    getattr(getattr(operator, "spec", None), "name", None)
+                    or operator.kind
+                )
+                recorder.observe(f"op.{name}.batch_s", seconds)
+                recorder.inc(f"op.{name}.items", inputs)
+
         out: List[Element] = []
         for item in parent_items:
-            out.extend(pipeline.process(item))
+            out.extend(pipeline.process_batch((item,), timer))
         for operator, inputs in zip(pipeline.operators, pipeline.input_counts):
             udf_name = getattr(getattr(operator, "spec", None), "name", None)
             work = base_load(operator.kind, udf_name) * peer.pindex * inputs

@@ -19,6 +19,7 @@ wall-clock work is deduplicated.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..properties import OperatorSpec
@@ -27,21 +28,35 @@ from .operators import Operator, build_operator
 
 
 class _Gauge:
-    """Tracks the number of in-flight items (peak-memory telemetry)."""
+    """Tracks the number of in-flight items (peak-memory telemetry).
 
-    __slots__ = ("current", "peak")
+    ``peak`` is the all-run maximum; ``window_peak`` is the maximum
+    since the last :meth:`take_window_peak` — the per-epoch queue-depth
+    series the observability layer samples at epoch boundaries.
+    """
+
+    __slots__ = ("current", "peak", "window_peak")
 
     def __init__(self) -> None:
         self.current = 0
         self.peak = 0
+        self.window_peak = 0
 
     def add(self, count: int) -> None:
         self.current += count
         if self.current > self.peak:
             self.peak = self.current
+        if self.current > self.window_peak:
+            self.window_peak = self.current
 
     def sub(self, count: int) -> None:
         self.current -= count
+
+    def take_window_peak(self) -> int:
+        """Return the peak since the last call and reset the window."""
+        peak = self.window_peak
+        self.window_peak = self.current
+        return peak
 
 
 class PrefixStage:
@@ -115,6 +130,7 @@ class PrefixTree:
         batch: Sequence[Element],
         emit: Callable[[str, List[Element]], None],
         gauge: Optional[_Gauge] = None,
+        timer: Optional[Callable[[PrefixStage, int, float], None]] = None,
     ) -> None:
         """Push one input batch through every stage exactly once.
 
@@ -122,10 +138,12 @@ class PrefixTree:
         stream, with the outputs already frozen (size-pinned) for cheap
         transport accounting.  Empty batches short-circuit without
         touching operator state, matching per-stream pipelines which
-        never call an operator on an empty batch.
+        never call an operator on an empty batch.  ``timer``, when
+        given, observes ``(stage, input_count, wall_seconds)`` per
+        evaluated stage — the disabled path costs one ``None`` check.
         """
         for root in self.roots:
-            self._evaluate(root, batch, emit, gauge)
+            self._evaluate(root, batch, emit, gauge, timer)
 
     def _evaluate(
         self,
@@ -133,12 +151,18 @@ class PrefixTree:
         batch: Sequence[Element],
         emit: Callable[[str, List[Element]], None],
         gauge: Optional[_Gauge],
+        timer: Optional[Callable[[PrefixStage, int, float], None]] = None,
     ) -> None:
         if not batch:
             return
         stage.input_count += len(batch)
         process = stage.operator.process
-        out = [produced for item in batch for produced in process(item)]
+        if timer is None:
+            out = [produced for item in batch for produced in process(item)]
+        else:
+            start = perf_counter()
+            out = [produced for item in batch for produced in process(item)]
+            timer(stage, len(batch), perf_counter() - start)
         for produced in out:
             produced.freeze()
         if gauge is not None:
@@ -146,7 +170,7 @@ class PrefixTree:
         for stream_id in stage.streams:
             emit(stream_id, out)
         for child in stage.children:
-            self._evaluate(child, out, emit, gauge)
+            self._evaluate(child, out, emit, gauge, timer)
         if gauge is not None:
             gauge.sub(len(out))
 

@@ -72,7 +72,18 @@ class RunMetrics:
         return self.peer_work.get(peer, 0.0) / self.duration / capacity * 100.0
 
     def peer_accumulated_mbit(self, net: Network, peer: str) -> float:
-        """Accumulated in+out traffic of a peer in MBit (Fig. 7 right)."""
+        """Accumulated in+out traffic of a peer in MBit (Fig. 7 right).
+
+        **In+out convention:** every link's bits count toward *both*
+        endpoints — a peer's figure is the sum over all links it
+        terminates, regardless of transfer direction.  Consequently one
+        transferred bit appears in two peers' totals, and summing this
+        method over all peers yields **twice** :meth:`total_mbit`.
+        This matches the paper's Fig. 7 ("accumulated network traffic
+        at the super-peers"), which charges a transfer to sender and
+        receiver alike; pinned by ``test_peer_accumulated_mbit_in_out``
+        so the figure stays comparable across refactors.
+        """
         total = 0.0
         for (a, b), bits in self.link_bits.items():
             if peer in (a, b):

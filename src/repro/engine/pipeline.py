@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from time import perf_counter
+from typing import Callable, List, Optional, Sequence
 
 from ..properties import OperatorSpec
 from ..xmlkit import Element, Path
@@ -47,14 +48,31 @@ class Pipeline:
     def process(self, item: Element) -> List[Element]:
         return self.process_batch((item,))
 
-    def process_batch(self, items: Sequence[Element]) -> List[Element]:
+    def process_batch(
+        self,
+        items: Sequence[Element],
+        timer: Optional[Callable[[Operator, int, float], None]] = None,
+    ) -> List[Element]:
+        """Fold ``items`` through every stage.
+
+        ``timer``, when given, observes ``(operator, input_count,
+        wall_seconds)`` per evaluated stage — same contract as the
+        shared-prefix trie's timer; the disabled path is one ``None``
+        check per stage.
+        """
         batch: List[Element] = list(items)
         for index, operator in enumerate(self.operators):
             if not batch:
                 break
             self.input_counts[index] += len(batch)
             process = operator.process
-            batch = [out for current in batch for out in process(current)]
+            if timer is None:
+                batch = [out for current in batch for out in process(current)]
+            else:
+                inputs = len(batch)
+                start = perf_counter()
+                batch = [out for current in batch for out in process(current)]
+                timer(operator, inputs, perf_counter() - start)
         return batch
 
     def flush(self) -> List[Element]:

@@ -37,10 +37,12 @@ class MatchMemo:
         self.hits = 0
         self.misses = 0
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, float]:
+        total = self.hits + self.misses
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
             "properties_entries": len(self.properties),
             "operator_entries": len(self.operators),
         }

@@ -90,9 +90,14 @@ class RouteCache:
     break differently per direction, and plans must be byte-identical to
     direct ``shortest_path`` calls.  Routing errors (disconnected
     endpoints) propagate uncached, so a later rejoin can succeed.
+
+    ``hits``/``misses``/``invalidations`` are always-on plain-int
+    counters (surfaced through ``StreamGlobe.cache_stats`` and the
+    observability registry); ``invalidations`` counts wholesale drops,
+    i.e. lookups that found :attr:`Network.version` had moved.
     """
 
-    __slots__ = ("net", "_version", "_paths", "hits", "misses")
+    __slots__ = ("net", "_version", "_paths", "hits", "misses", "invalidations")
 
     def __init__(self, net: Network) -> None:
         self.net = net
@@ -100,11 +105,13 @@ class RouteCache:
         self._paths: Dict[Tuple[str, str], Tuple[str, ...]] = {}
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
 
     def path(self, source: str, target: str) -> Tuple[str, ...]:
         if self._version != self.net.version:
             self._paths.clear()
             self._version = self.net.version
+            self.invalidations += 1
         key = (source, target)
         route = self._paths.get(key)
         if route is None:

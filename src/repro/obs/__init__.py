@@ -1,0 +1,49 @@
+"""``repro.obs`` — end-to-end observability for the reproduction.
+
+The paper's entire evaluation *is* observability: Figs. 6–7 plot CPU
+load per super-peer and network traffic per link.  This package turns
+those end-of-run totals into inspectable runs:
+
+* :class:`Recorder` — the near-zero-overhead instrumentation core:
+  counters, gauges, histograms, span-style structured events, and
+  per-epoch time-series snapshots.  :data:`NULL_RECORDER` is a no-op
+  stand-in, so instrumented hot paths cost one attribute check when
+  observability is off.
+* :class:`EpochSnapshot` — one epoch of the data-plane time series the
+  executor emits (per-peer work, per-link bits, queue depths,
+  per-operator item counts), turning the Fig. 6/7 totals into series
+  that show fault/recovery transients.
+* exporters — JSONL event logs, Chrome ``trace_event`` timelines, and
+  Prometheus-style text exposition (:mod:`repro.obs.export`).
+* a CLI — ``python -m repro.obs record|summarize|diff|chrome``
+  (:mod:`repro.obs.cli`).
+
+See DESIGN.md §10 for the architecture, event schema, and the overhead
+budget (the disabled path must stay within 2% of the untraced
+baseline; CI enforces it).
+"""
+
+from .recorder import NULL_RECORDER, NullRecorder, Recorder, Span, default_recorder
+from .timeseries import EpochSnapshot, snapshot_delta
+from .export import (
+    chrome_trace,
+    load_jsonl,
+    prometheus_text,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "EpochSnapshot",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "Span",
+    "chrome_trace",
+    "default_recorder",
+    "load_jsonl",
+    "prometheus_text",
+    "snapshot_delta",
+    "write_chrome_trace",
+    "write_jsonl",
+]

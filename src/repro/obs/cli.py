@@ -1,0 +1,363 @@
+"""Command-line run introspection: ``python -m repro.obs ...``.
+
+Subcommands:
+
+* ``record``    — execute a workload scenario with tracing on and write
+  the JSONL run log (optionally also a Chrome trace and a Prometheus
+  text snapshot);
+* ``summarize`` — print a run log's per-epoch peer-CPU / link-traffic
+  series, planner span timings, and cache hit rates;
+* ``diff``      — compare two run logs (counters, span totals, epoch
+  aggregates);
+* ``chrome``    — convert a JSONL run log into a Chrome ``trace_event``
+  file for chrome://tracing / Perfetto.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .export import RunLog, load_jsonl, write_chrome_trace, write_jsonl
+from .recorder import Recorder
+
+#: Span names that belong to the control plane's planning pipeline, in
+#: display order (register is the root; the rest are its phases).
+PLANNER_SPAN_ORDER = (
+    "register",
+    "parse",
+    "analyze",
+    "plan",
+    "search",
+    "commit",
+    "repair",
+    "repair.damage",
+    "repair.teardown",
+    "repair.reregister",
+)
+
+
+def _fmt(value: float, width: int = 9) -> str:
+    if isinstance(value, float):
+        return f"{value:{width}.3f}"
+    return f"{value:{width}d}"
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    widths = [len(h) for h in headers]
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = [cell if isinstance(cell, str) else _fmt(cell).strip() for cell in row]
+        rendered.append(cells)
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.rjust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for cells in rendered:
+        lines.append("  ".join(cells[i].rjust(widths[i]) for i in range(len(cells))))
+    return "\n".join(lines)
+
+
+def hit_rates(counters: Dict[str, float]) -> Dict[str, Tuple[float, float, float]]:
+    """Derive ``{cache: (hits, misses, rate)}`` from ``*.hits``/``*.misses``."""
+    rates: Dict[str, Tuple[float, float, float]] = {}
+    for name, hits in sorted(counters.items()):
+        if not name.endswith(".hits"):
+            continue
+        base = name[: -len(".hits")]
+        misses = counters.get(base + ".misses", 0)
+        total = hits + misses
+        rates[base] = (hits, misses, hits / total if total else 0.0)
+    return rates
+
+
+# ----------------------------------------------------------------------
+# summarize
+# ----------------------------------------------------------------------
+def _epoch_series_tables(log: RunLog, max_links: int = 8) -> List[str]:
+    if not log.epochs:
+        return ["(no epoch time series in this run log)"]
+    peers = sorted({p for e in log.epochs for p in e.peer_cpu_percent})
+    out: List[str] = []
+    rows = [
+        [e.index, e.t_start, e.t_end]
+        + [e.peer_cpu_percent.get(p, 0.0) for p in peers]
+        for e in log.epochs
+    ]
+    out.append("Per-epoch peer CPU load (% of capacity):")
+    out.append(_table(["epoch", "t0", "t1"] + peers, rows))
+
+    link_totals: Dict[str, float] = {}
+    for e in log.epochs:
+        for link, bits in e.link_bits.items():
+            link_totals[link] = link_totals.get(link, 0.0) + bits
+    links = sorted(link_totals, key=lambda l: -link_totals[l])[:max_links]
+    rows = [
+        [e.index, e.t_start, e.t_end] + [e.link_kbps.get(l, 0.0) for l in links]
+        for e in log.epochs
+    ]
+    title = "Per-epoch link traffic (kbit/s"
+    if len(link_totals) > len(links):
+        title += f", top {len(links)} of {len(link_totals)} links by volume"
+    out.append("")
+    out.append(title + "):")
+    out.append(_table(["epoch", "t0", "t1"] + links, rows))
+
+    rows = [
+        [
+            e.index,
+            e.items_generated,
+            e.items_delivered,
+            e.items_lost,
+            e.rerouted_traffic_bits,
+            e.faults_applied,
+            e.inflight_peak,
+        ]
+        for e in log.epochs
+    ]
+    out.append("")
+    out.append("Per-epoch item flow and churn transients:")
+    out.append(
+        _table(
+            ["epoch", "generated", "delivered", "lost", "rerouted_bits", "faults", "q_peak"],
+            rows,
+        )
+    )
+    return out
+
+
+def _span_timing_table(log: RunLog) -> str:
+    totals = log.span_totals()
+    if not totals:
+        return "(no spans in this run log)"
+    ordered = [n for n in PLANNER_SPAN_ORDER if n in totals]
+    ordered += sorted(n for n in totals if n not in PLANNER_SPAN_ORDER)
+    rows = [
+        [
+            name,
+            int(totals[name]["count"]),
+            totals[name]["total_s"] * 1e3,
+            totals[name]["total_s"] / totals[name]["count"] * 1e3,
+            totals[name]["max_s"] * 1e3,
+        ]
+        for name in ordered
+    ]
+    return _table(["span", "count", "total_ms", "mean_ms", "max_ms"], rows)
+
+
+def _cache_table(counters: Dict[str, float]) -> str:
+    rates = hit_rates(counters)
+    if not rates:
+        return "(no cache counters in this run log)"
+    rows = []
+    for base, (hits, misses, rate) in sorted(rates.items()):
+        invalidations = counters.get(base + ".invalidations")
+        rows.append(
+            [
+                base,
+                int(hits),
+                int(misses),
+                f"{rate * 100:.1f}%",
+                int(invalidations) if invalidations is not None else "-",
+            ]
+        )
+    return _table(["cache", "hits", "misses", "hit_rate", "invalidations"], rows)
+
+
+def summarize(log: RunLog, out: Any = None) -> None:
+    out = out or sys.stdout
+    w = out.write
+    meta = log.meta
+    w("== run ==\n")
+    for key in ("scenario", "strategy", "duration_s", "created_unix", "format"):
+        if key in meta:
+            w(f"  {key}: {meta[key]}\n")
+    w(
+        f"  spans={len(log.spans)} events={len(log.events)} "
+        f"epochs={len(log.epochs)} counters={len(log.counters)}\n"
+    )
+
+    w("\n== data plane: per-epoch time series ==\n")
+    for block in _epoch_series_tables(log):
+        w(block + "\n")
+
+    w("\n== control plane: planner span timings ==\n")
+    w(_span_timing_table(log) + "\n")
+
+    w("\n== caches ==\n")
+    w(_cache_table(log.counters) + "\n")
+
+    decisions = log.events_named("plan.decision")
+    if decisions:
+        w("\n== plan decisions ==\n")
+        for event in decisions:
+            f = event["fields"]
+            w(
+                "  {query}: {strategy} accepted={accepted} cost={cost} "
+                "reused={reused}\n".format(
+                    query=f.get("query", "?"),
+                    strategy=f.get("strategy", "?"),
+                    accepted=f.get("accepted", "?"),
+                    cost=_maybe_round(f.get("total_cost")),
+                    reused=f.get("reused_streams", []),
+                )
+            )
+    repairs = log.events_named("repair.report")
+    if repairs:
+        w("\n== repairs ==\n")
+        for event in repairs:
+            f = event["fields"]
+            w(
+                "  t={t:.3f}s repaired={repaired} lost={lost} "
+                "reinstalled_sources={src}\n".format(
+                    t=event["t"],
+                    repaired=f.get("queries_repaired", "?"),
+                    lost=f.get("queries_lost", "?"),
+                    src=f.get("sources_reinstalled", "?"),
+                )
+            )
+
+
+def _maybe_round(value: Any) -> Any:
+    return round(value, 3) if isinstance(value, float) else value
+
+
+# ----------------------------------------------------------------------
+# diff
+# ----------------------------------------------------------------------
+def diff(a: RunLog, b: RunLog, label_a: str, label_b: str, out: Any = None) -> None:
+    out = out or sys.stdout
+    w = out.write
+    w(f"== diff: A={label_a}  B={label_b} ==\n")
+
+    names = sorted(set(a.counters) | set(b.counters))
+    rows = []
+    for name in names:
+        va, vb = a.counters.get(name, 0), b.counters.get(name, 0)
+        if va != vb:
+            rows.append([name, va, vb, vb - va])
+    w("\nCounters (changed only):\n")
+    w(_table(["counter", "A", "B", "delta"], rows) + "\n" if rows else "  (identical)\n")
+
+    ta, tb = a.span_totals(), b.span_totals()
+    rows = []
+    for name in sorted(set(ta) | set(tb)):
+        ea = ta.get(name, {"count": 0, "total_s": 0.0})
+        eb = tb.get(name, {"count": 0, "total_s": 0.0})
+        rows.append(
+            [name, int(ea["count"]), int(eb["count"]), ea["total_s"] * 1e3, eb["total_s"] * 1e3]
+        )
+    w("\nSpan totals:\n")
+    w(_table(["span", "A_count", "B_count", "A_ms", "B_ms"], rows) + "\n" if rows else "  (none)\n")
+
+    def epoch_sums(log: RunLog) -> Dict[str, float]:
+        return {
+            "epochs": len(log.epochs),
+            "items_delivered": sum(e.items_delivered for e in log.epochs),
+            "items_lost": sum(e.items_lost for e in log.epochs),
+            "rerouted_traffic_bits": sum(e.rerouted_traffic_bits for e in log.epochs),
+            "peer_work": sum(sum(e.peer_work.values()) for e in log.epochs),
+            "link_bits": sum(sum(e.link_bits.values()) for e in log.epochs),
+        }
+
+    sa, sb = epoch_sums(a), epoch_sums(b)
+    rows = [[k, sa[k], sb[k], sb[k] - sa[k]] for k in sa]
+    w("\nEpoch aggregates:\n")
+    w(_table(["metric", "A", "B", "delta"], rows) + "\n")
+
+
+# ----------------------------------------------------------------------
+# record
+# ----------------------------------------------------------------------
+def _build_scenario(name: str) -> Any:
+    from ..workload import scenarios
+
+    if name == "churn":
+        return scenarios.scenario_churn()
+    if name == "churn-smoke":
+        return scenarios.scenario_churn(rows=2, cols=2, query_count=4, duration=12.0,
+                                        crash_peer="SP1", crash_at=4.0, rejoin_at=8.0)
+    if name == "one":
+        return scenarios.scenario_one()
+    if name == "grid":
+        return scenarios.scenario_grid()
+    raise SystemExit(f"unknown scenario {name!r} (try: churn, churn-smoke, one, grid)")
+
+
+def record(args: argparse.Namespace) -> None:
+    from ..bench.harness import run_scenario
+
+    scenario = _build_scenario(args.scenario)
+    recorder = Recorder()
+    run = run_scenario(scenario, args.strategy, recorder=recorder)
+    extra = {
+        "scenario": scenario.name,
+        "strategy": args.strategy,
+        "duration_s": scenario.duration,
+        "queries_accepted": run.accepted,
+        "queries_rejected": run.rejected,
+    }
+    write_jsonl(recorder, args.out, net=run.system.net, extra=extra)
+    print(f"wrote {args.out} ({len(recorder.spans)} spans, "
+          f"{len(recorder.epochs)} epochs, {len(recorder.events)} events)")
+    if args.chrome:
+        write_chrome_trace(recorder, args.chrome)
+        print(f"wrote {args.chrome} (open in chrome://tracing or ui.perfetto.dev)")
+    if args.prom:
+        from .export import prometheus_text
+
+        with open(args.prom, "w", encoding="utf-8") as handle:
+            handle.write(prometheus_text(recorder))
+        print(f"wrote {args.prom}")
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description="Run introspection for repro."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("record", help="run a scenario traced and write a JSONL run log")
+    p.add_argument("--scenario", default="churn",
+                   help="churn | churn-smoke | one | grid (default: churn)")
+    p.add_argument("--strategy", default="stream-sharing")
+    p.add_argument("-o", "--out", default="RUN.jsonl")
+    p.add_argument("--chrome", default=None, metavar="TRACE.json",
+                   help="also write a Chrome trace_event file")
+    p.add_argument("--prom", default=None, metavar="METRICS.txt",
+                   help="also write a Prometheus text snapshot")
+
+    p = sub.add_parser("summarize", help="print series, span timings and cache rates")
+    p.add_argument("run", metavar="RUN.jsonl")
+
+    p = sub.add_parser("diff", help="compare two run logs")
+    p.add_argument("run_a", metavar="A.jsonl")
+    p.add_argument("run_b", metavar="B.jsonl")
+
+    p = sub.add_parser("chrome", help="convert a run log to a Chrome trace")
+    p.add_argument("run", metavar="RUN.jsonl")
+    p.add_argument("-o", "--out", default="trace.json")
+
+    args = parser.parse_args(argv)
+    if args.command == "record":
+        record(args)
+    elif args.command == "summarize":
+        summarize(load_jsonl(args.run))
+    elif args.command == "diff":
+        diff(load_jsonl(args.run_a), load_jsonl(args.run_b), args.run_a, args.run_b)
+    elif args.command == "chrome":
+        log = load_jsonl(args.run)
+        write_chrome_trace(log, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

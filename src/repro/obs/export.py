@@ -1,0 +1,258 @@
+"""Exporters: JSONL event logs, Chrome traces, Prometheus exposition.
+
+The JSONL log is the canonical run artifact (one JSON object per
+line, ``type``-tagged); ``repro.obs summarize`` and ``repro.obs
+diff`` consume it, and :func:`chrome_trace` converts its spans and
+epochs into the Chrome ``trace_event`` format (load via
+``chrome://tracing`` or https://ui.perfetto.dev).
+:func:`prometheus_text` renders a recorder's counters/gauges/
+histograms in the Prometheus text exposition format for scrape-style
+integration.
+
+Line schema (``type`` → payload):
+
+* ``meta``    — run header: creation time, optional topology
+  (``peers`` name→capacity, ``links``), free-form ``extra`` fields;
+* ``span``    — ``{id, parent, name, t0, t1, attrs}`` (seconds
+  relative to the recorder's creation);
+* ``event``   — ``{t, name, fields}`` structured one-shot events
+  (plan decisions, faults, repair reports);
+* ``epoch``   — one :class:`~repro.obs.EpochSnapshot` as a dict;
+* ``counter`` / ``gauge`` — final scalar values;
+* ``hist``    — histogram summary (count/sum/min/max/mean/buckets).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO, Any, Dict, List, Optional
+
+from .recorder import Recorder
+from .timeseries import EpochSnapshot
+
+__all__ = [
+    "RunLog",
+    "chrome_trace",
+    "load_jsonl",
+    "prometheus_text",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def _meta_line(recorder: Recorder, net: Any, extra: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    meta: Dict[str, Any] = {
+        "type": "meta",
+        "created_unix": recorder.created_unix,
+        "format": "repro.obs/1",
+    }
+    if net is not None:
+        meta["peers"] = {
+            peer.name: peer.capacity for peer in net.super_peers()
+        }
+        meta["links"] = sorted(str(link) for link in net.links())
+    if extra:
+        meta.update(extra)
+    return meta
+
+
+def write_jsonl(
+    recorder: Recorder,
+    path: str,
+    net: Any = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write one recorder's full contents as a JSONL run log."""
+    with open(path, "w", encoding="utf-8") as handle:
+        _write_jsonl(recorder, handle, net, extra)
+
+
+def _write_jsonl(
+    recorder: Recorder, handle: IO[str], net: Any, extra: Optional[Dict[str, Any]]
+) -> None:
+    def emit(obj: Dict[str, Any]) -> None:
+        handle.write(json.dumps(obj, sort_keys=True) + "\n")
+
+    emit(_meta_line(recorder, net, extra))
+    for span in recorder.spans:
+        emit({"type": "span", **span.to_dict()})
+    for event in recorder.events:
+        emit({"type": "event", **event})
+    for epoch in recorder.epochs:
+        emit({"type": "epoch", **epoch.to_dict()})
+    for name in sorted(recorder.counters):
+        emit({"type": "counter", "name": name, "value": recorder.counters[name]})
+    for name in sorted(recorder.gauges):
+        emit({"type": "gauge", "name": name, "value": recorder.gauges[name]})
+    for name in sorted(recorder.histograms):
+        emit({"type": "hist", "name": name, **recorder.histograms[name].to_dict()})
+
+
+@dataclass
+class RunLog:
+    """A parsed JSONL run log (what the CLI consumes)."""
+
+    meta: Dict[str, Any] = field(default_factory=dict)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    epochs: List[EpochSnapshot] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def span_totals(self) -> Dict[str, Dict[str, float]]:
+        """Same aggregation as :meth:`Recorder.span_totals`."""
+        totals: Dict[str, Dict[str, float]] = {}
+        for span in self.spans:
+            if span.get("t1") is None:
+                continue
+            entry = totals.setdefault(
+                span["name"], {"count": 0, "total_s": 0.0, "max_s": 0.0}
+            )
+            duration = span["t1"] - span["t0"]
+            entry["count"] += 1
+            entry["total_s"] += duration
+            if duration > entry["max_s"]:
+                entry["max_s"] = duration
+        return totals
+
+    def events_named(self, name: str) -> List[Dict[str, Any]]:
+        return [event for event in self.events if event["name"] == name]
+
+
+def load_jsonl(path: str) -> RunLog:
+    """Parse a JSONL run log back into a :class:`RunLog`."""
+    log = RunLog()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.pop("type", None)
+            if kind == "meta":
+                log.meta = record
+            elif kind == "span":
+                log.spans.append(record)
+            elif kind == "event":
+                log.events.append(record)
+            elif kind == "epoch":
+                log.epochs.append(EpochSnapshot.from_dict(record))
+            elif kind == "counter":
+                log.counters[record["name"]] = record["value"]
+            elif kind == "gauge":
+                log.gauges[record["name"]] = record["value"]
+            elif kind == "hist":
+                log.histograms[record.pop("name")] = record
+    return log
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+def chrome_trace(source: Any) -> Dict[str, Any]:
+    """Convert a :class:`Recorder` or :class:`RunLog` into a Chrome trace.
+
+    Spans become complete (``"ph": "X"``) duration events on the
+    control-plane track; epoch snapshots become counter (``"ph": "C"``)
+    series (total CPU %, total kbps, in-flight items) placed at their
+    wall-clock emission times, so the data-plane series line up with
+    the control-plane spans on one timeline.
+    """
+    if isinstance(source, Recorder):
+        spans = [span.to_dict() for span in source.spans]
+        epochs = source.epochs
+    else:
+        spans = source.spans
+        epochs = source.epochs
+    trace_events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": "repro (StreamGlobe)"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": "control-plane"},
+        },
+    ]
+    for span in spans:
+        if span.get("t1") is None:
+            continue
+        trace_events.append(
+            {
+                "name": span["name"],
+                "ph": "X",
+                "pid": 1,
+                "tid": 1,
+                "ts": span["t0"] * 1e6,
+                "dur": (span["t1"] - span["t0"]) * 1e6,
+                "args": span.get("attrs", {}),
+            }
+        )
+    for epoch in epochs:
+        ts = epoch.wall_s * 1e6
+        for counter_name, value in (
+            ("data-plane CPU (%)", round(epoch.total_cpu_percent(), 3)),
+            ("data-plane traffic (kbps)", round(epoch.total_kbps(), 3)),
+            ("in-flight items", epoch.inflight_peak),
+        ):
+            trace_events.append(
+                {
+                    "name": counter_name,
+                    "ph": "C",
+                    "pid": 1,
+                    "ts": ts,
+                    "args": {"value": value},
+                }
+            )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(source: Any, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(source), handle, indent=1)
+        handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"repro_{cleaned}"
+
+
+def prometheus_text(recorder: Recorder) -> str:
+    """Render counters, gauges and histograms in exposition format."""
+    lines: List[str] = []
+    for name in sorted(recorder.counters):
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {recorder.counters[name]}")
+    for name in sorted(recorder.gauges):
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {recorder.gauges[name]}")
+    for name in sorted(recorder.histograms):
+        hist = recorder.histograms[name]
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        from .recorder import HISTOGRAM_BUCKETS
+
+        cumulative = 0
+        for bound, count in zip(HISTOGRAM_BUCKETS, hist.buckets):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{bound:g}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{metric}_sum {hist.total}")
+        lines.append(f"{metric}_count {hist.count}")
+    return "\n".join(lines) + "\n"

@@ -1,4 +1,4 @@
-"""Human-readable explanations of registration decisions.
+"""Explanations of registration decisions, human- and machine-readable.
 
 ``explain_registration`` renders what Algorithm 1 decided for a
 subscription — which stream it reuses, where compensation operators
@@ -6,11 +6,17 @@ run, how the result is routed, what the search looked at — in the
 vocabulary of the paper.  Used by examples and by operators debugging a
 deployment; the output format is covered by tests so it can be relied
 on in scripts.
+
+``decision_record`` is the machine-readable counterpart: a plain-dict
+"why this plan" record (reused stream, placement, compensation,
+chosen vs. initial cost, search telemetry) that the observability
+layer attaches to every registration as a structured
+``plan.decision`` event (DESIGN.md §10).
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List
 
 from ..properties import (
     AggregationSpec,
@@ -108,6 +114,63 @@ def explain_registration(
         f"registration took {result.registration_ms:.0f} ms (simulated)"
     )
     return "\n".join(lines)
+
+
+def _input_plan_record(plan: InputPlan, deployment: Deployment) -> Dict[str, Any]:
+    reused = deployment.streams.get(plan.reused_id)
+    shares = reused is not None and not reused.is_original
+    record: Dict[str, Any] = {
+        "input_stream": plan.input_stream,
+        "reused_id": plan.reused_id,
+        "shares_existing_stream": shares,
+        "reused_owner": reused.query if reused is not None else None,
+        "tap_node": plan.tap_node,
+        "placement_node": plan.placement_node,
+        "relay_route": list(plan.relay.route) if plan.relay is not None else None,
+        "delivery_route": list(plan.delivered.route),
+        "compensation": [describe_operator(spec) for spec in plan.delivered.pipeline],
+        "widened": plan.widening is not None,
+        "cost": plan.cost,
+        "initial_cost": plan.initial_cost,
+    }
+    if plan.initial_cost is not None:
+        record["saving_vs_initial"] = plan.initial_cost - plan.cost
+    return record
+
+
+def decision_record(
+    result: RegistrationResult, deployment: Deployment
+) -> Dict[str, Any]:
+    """Machine-readable "why this plan" record for one registration.
+
+    JSON-serializable by construction; the explanation mirrors
+    :func:`explain_registration` field for field, so both views of a
+    decision always agree.
+    """
+    record: Dict[str, Any] = {
+        "query": result.query,
+        "accepted": result.accepted,
+        "registration_ms": result.registration_ms,
+    }
+    if not result.accepted:
+        record["rejection_reason"] = result.rejection_reason
+    plan = result.plan
+    if plan is not None:
+        record.update(
+            {
+                "total_cost": plan.total_cost(),
+                "visited_nodes": plan.visited_nodes,
+                "candidate_matches": plan.candidate_matches,
+                "reused_streams": sorted(
+                    p.reused_id
+                    for p in plan.inputs
+                    if (s := deployment.streams.get(p.reused_id)) is not None
+                    and not s.is_original
+                ),
+                "inputs": [_input_plan_record(p, deployment) for p in plan.inputs],
+            }
+        )
+    return record
 
 
 def explain_deployment(deployment: Deployment) -> str:

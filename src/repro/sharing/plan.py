@@ -116,6 +116,10 @@ class InputPlan:
     effects: PlanEffects
     cost: float
     widening: Optional[object] = None  # WideningAction (import-cycle-free)
+    #: Cost of Algorithm 1's *initial* plan (ship the original stream to
+    #: the subscriber) — the baseline the chosen plan improved on; set
+    #: by the search, reported in the decision record.
+    initial_cost: Optional[float] = None
 
     def new_streams(self) -> List[InstalledStream]:
         streams = [] if self.relay is None else [self.relay]

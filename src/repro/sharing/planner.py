@@ -31,6 +31,7 @@ from ..costmodel import (
 )
 from ..network.routing import RouteCache
 from ..network.topology import Network
+from ..obs.recorder import NULL_RECORDER
 from ..properties import (
     AggregationSpec,
     OperatorSpec,
@@ -106,11 +107,19 @@ class Planner:
         catalog: StatisticsCatalog,
         cost_model: CostModel,
         latency_model: Optional[LatencyModel] = None,
+        recorder: Optional[object] = None,
     ) -> None:
         self.net = net
         self.catalog = catalog
         self.cost_model = cost_model
         self.latency_model = latency_model or LatencyModel()
+        #: Observability sink (no-op unless the owning system traces).
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        # Always-on plain-int cache telemetry (cheap enough to keep
+        # unconditional; surfaced via StreamGlobe.cache_stats()).
+        self.rate_cache_hits = 0
+        self.rate_cache_misses = 0
+        self.plans_costed = 0
         #: Shortest-path memo; invalidated by the topology's churn
         #: version counter, so repairs re-route automatically.
         self.routes = RouteCache(net)
@@ -133,8 +142,11 @@ class Planner:
         """Memoized :func:`~repro.costmodel.estimate_stream_rate`."""
         rate = self._rate_cache.get(content)
         if rate is None:
+            self.rate_cache_misses += 1
             rate = estimate_stream_rate(content, self.catalog)
             self._rate_cache[content] = rate
+        else:
+            self.rate_cache_hits += 1
         return rate
 
     # ------------------------------------------------------------------
@@ -215,6 +227,7 @@ class Planner:
             candidate, tap_node, placement_node, relay, delivered, subscription
         )
         cost = self.cost_model.plan_cost(effects, deployment.usage)
+        self.plans_costed += 1
         return InputPlan(
             input_stream=subscription.stream,
             reused_id=candidate.stream_id,

@@ -110,65 +110,104 @@ class PlanRepairer:
         system = self.system
         deployment = system.deployment
         net = system.net
+        recorder = system.recorder
         report = RepairReport(context=context)
         deregistrar = Deregistrar(system.planner)
 
-        self._reinstall_sources(deployment, net, report)
+        with recorder.span("repair", context=context) as repair_span:
+            with recorder.span("repair.damage") as span:
+                self._reinstall_sources(deployment, net, report)
 
-        damaged = self._damaged_closure(deployment, net)
-        report.damaged_streams = sorted(damaged)
+                damaged = self._damaged_closure(deployment, net)
+                report.damaged_streams = sorted(damaged)
 
-        # Tear down every subscription whose subscriber vanished or
-        # whose delivery chain touches a damaged stream.
-        affected: Dict[str, RegisteredQuery] = {}
-        for name, record in list(deployment.queries.items()):
-            if record.subscriber_node not in net or any(
-                stream_id not in deployment.streams or stream_id in damaged
-                for _, stream_id in record.delivered
-            ):
-                affected[name] = deployment.queries.pop(name)
-        report.torn_down_queries = sorted(affected)
+                # Tear down every subscription whose subscriber vanished
+                # or whose delivery chain touches a damaged stream.
+                affected: Dict[str, RegisteredQuery] = {}
+                for name, record in list(deployment.queries.items()):
+                    if record.subscriber_node not in net or any(
+                        stream_id not in deployment.streams or stream_id in damaged
+                        for _, stream_id in record.delivered
+                    ):
+                        affected[name] = deployment.queries.pop(name)
+                report.torn_down_queries = sorted(affected)
+                if recorder.enabled:
+                    span.set(
+                        damaged_streams=len(damaged),
+                        torn_down_queries=len(affected),
+                    )
 
-        # Release the torn-down subscriptions' post-processing load,
-        # then sweep: with their consumers gone, damaged derived
-        # streams are dead and the (idempotent) garbage collection
-        # releases their commitments — estimated against the pre-fault
-        # topology, hence the removed-entity lookups in Deregistrar.
-        release = PlanEffects()
-        for record in affected.values():
-            for _, stream_id in record.delivered:
-                stream = deployment.streams.get(stream_id)
-                if stream is None:
-                    continue
-                rate = estimate_stream_rate(stream.content, system.catalog)
-                deregistrar._charge(
-                    release, record.subscriber_node, "restructure", rate.frequency
+            with recorder.span("repair.teardown") as span:
+                # Release the torn-down subscriptions' post-processing
+                # load, then sweep: with their consumers gone, damaged
+                # derived streams are dead and the (idempotent) garbage
+                # collection releases their commitments — estimated
+                # against the pre-fault topology, hence the
+                # removed-entity lookups in Deregistrar.
+                release = PlanEffects()
+                for record in affected.values():
+                    for _, stream_id in record.delivered:
+                        stream = deployment.streams.get(stream_id)
+                        if stream is None:
+                            continue
+                        rate = estimate_stream_rate(stream.content, system.catalog)
+                        deregistrar._charge(
+                            release,
+                            record.subscriber_node,
+                            "restructure",
+                            rate.frequency,
+                        )
+                report.removed_streams.extend(
+                    deregistrar._collect_garbage(deployment, release)
                 )
-        report.removed_streams.extend(
-            deregistrar._collect_garbage(deployment, release)
-        )
-        # Damaged *original* streams (their source's home crashed) are
-        # never garbage — drop them explicitly, and only after the
-        # sweep: releasing a dead derived stream looks up its parent's
-        # rate, so the original must still be installed then.  The
-        # originals themselves carry no committed effects (single-node
-        # route, no pipeline).
-        for stream_id in sorted(damaged):
-            stream = deployment.streams.get(stream_id)
-            if stream is not None and stream.is_original:
-                deployment.release_stream(stream_id)
-                report.removed_streams.append(stream_id)
-        deregistrar._apply_release(deployment, release)
+                # Damaged *original* streams (their source's home
+                # crashed) are never garbage — drop them explicitly, and
+                # only after the sweep: releasing a dead derived stream
+                # looks up its parent's rate, so the original must still
+                # be installed then.  The originals themselves carry no
+                # committed effects (single-node route, no pipeline).
+                for stream_id in sorted(damaged):
+                    stream = deployment.streams.get(stream_id)
+                    if stream is not None and stream.is_original:
+                        deployment.release_stream(stream_id)
+                        report.removed_streams.append(stream_id)
+                deregistrar._apply_release(deployment, release)
+                if recorder.enabled:
+                    span.set(removed_streams=len(report.removed_streams))
 
-        # Re-registration: previously pending subscriptions first (they
-        # have waited longest), then this fault's, each in name order.
-        candidates: List[Tuple[str, RegisteredQuery]] = [
-            (name, self._pending.pop(name)[0]) for name in sorted(self._pending)
-        ]
-        candidates.extend(sorted(affected.items()))
-        for name, record in candidates:
-            self._reregister(deployment, net, name, record, report)
-        report.pending = self.pending
+            with recorder.span("repair.reregister") as span:
+                # Re-registration: previously pending subscriptions
+                # first (they have waited longest), then this fault's,
+                # each in name order.
+                candidates: List[Tuple[str, RegisteredQuery]] = [
+                    (name, self._pending.pop(name)[0])
+                    for name in sorted(self._pending)
+                ]
+                candidates.extend(sorted(affected.items()))
+                for name, record in candidates:
+                    self._reregister(deployment, net, name, record, report)
+                report.pending = self.pending
+                if recorder.enabled:
+                    span.set(
+                        reregistered=len(report.repaired_queries),
+                        pending=len(report.pending),
+                    )
+
+            if recorder.enabled:
+                repair_span.set(summary=report.summary())
+
+        if recorder.enabled:
+            recorder.event(
+                "repair.report",
+                context=context,
+                damaged_streams=len(report.damaged_streams),
+                removed_streams=len(report.removed_streams),
+                torn_down_queries=len(report.torn_down_queries),
+                queries_repaired=len(report.repaired_queries),
+                queries_lost=len(report.pending),
+                sources_reinstalled=len(report.reinstalled_sources),
+                recovery_time_ms=report.recovery_time_ms(),
+            )
 
         system._preflight(f"after plan repair ({context})")
         return report

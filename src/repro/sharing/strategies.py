@@ -53,6 +53,11 @@ class StrategyRegistrar:
             use_index=use_index,
         )
 
+    @property
+    def match_memo(self):
+        """The subscriber's :class:`~repro.matching.MatchMemo` (or ``None``)."""
+        return self._subscriber.match_memo
+
     # ------------------------------------------------------------------
     def register(
         self,

@@ -96,12 +96,24 @@ class Subscriber:
         """Register a subscription; returns the outcome (never raises
         for capacity rejections — those are reported in the result)."""
         plan = EvaluationPlan(query=properties.name)
+        recorder = self.planner.recorder
 
-        for subscription_input in properties.input_streams():      # line 2
-            best = self._search_input(
-                deployment, subscription_input, properties.name, subscriber_node, plan
-            )
-            plan.inputs.append(best)                                # line 27
+        with recorder.span("search", query=properties.name) as span:
+            for subscription_input in properties.input_streams():  # line 2
+                best = self._search_input(
+                    deployment,
+                    subscription_input,
+                    properties.name,
+                    subscriber_node,
+                    plan,
+                )
+                plan.inputs.append(best)                            # line 27
+            if recorder.enabled:
+                span.set(
+                    visited_nodes=plan.visited_nodes,
+                    candidate_matches=plan.candidate_matches,
+                    inputs=len(plan.inputs),
+                )
 
         latency = self.planner.latency_model.registration_time_ms(
             visited_nodes=plan.visited_nodes,
@@ -121,7 +133,8 @@ class Subscriber:
                     rejection_reason="no evaluation plan without overload",
                 )
 
-        self._commit(deployment, plan, properties, analyzed, subscriber_node)
+        with recorder.span("commit", query=properties.name):
+            self._commit(deployment, plan, properties, analyzed, subscriber_node)
         return RegistrationResult(
             query=properties.name,
             accepted=True,
@@ -157,6 +170,7 @@ class Subscriber:
             placements=("target",),
         )
         best = initial_candidates[0]
+        initial_cost = best.cost
 
         # Widening needs the almost-matching candidates the signature
         # index prunes, so it falls back to the full per-node scan.
@@ -253,6 +267,7 @@ class Subscriber:
             for target in sorted(matched_targets):                  # lines 16–18
                 if target not in marked and target not in queue:
                     queue.append(target)
+        best.initial_cost = initial_cost
         return best
 
     def _widening_variant(

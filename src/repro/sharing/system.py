@@ -23,6 +23,7 @@ from ..costmodel import (
 from ..engine import RunMetrics, StreamSimulator
 from ..engine.executor import ItemGenerator
 from ..network.topology import Network
+from ..obs.recorder import default_recorder
 from ..properties import StreamProperties, extract_from_analysis, raw_stream_properties
 from ..wxquery import Query, analyze, parse_query
 from ..xmlkit import Path
@@ -62,12 +63,20 @@ class StreamGlobe:
         use_index: bool = True,
         latency_model: Optional[LatencyModel] = None,
         verify: bool = False,
+        recorder: Optional[object] = None,
     ) -> None:
         self.net = net
         self.verify = verify
+        #: Observability sink, owned per system (never shared between
+        #: systems — benchmark baselines must not pollute each other's
+        #: series, exactly like the MatchMemo ownership rule).  Defaults
+        #: to the no-op singleton unless REPRO_OBS_TRACE is set.
+        self.recorder = recorder if recorder is not None else default_recorder()
         self.catalog = StatisticsCatalog()
         self.cost_model = CostModel(net, gamma=gamma)
-        self.planner = Planner(net, self.catalog, self.cost_model, latency_model)
+        self.planner = Planner(
+            net, self.catalog, self.cost_model, latency_model, recorder=self.recorder
+        )
         self.registrar = StrategyRegistrar(
             self.planner,
             strategy,
@@ -259,14 +268,22 @@ class StreamGlobe:
         Returns the registration result; capacity rejections (with
         admission control enabled) are reported, not raised.
         """
-        parsed = parse_query(query) if isinstance(query, str) else query
-        analyzed = analyze(parsed)
-        properties = extract_from_analysis(analyzed, name)
-        subscriber_node = self.net.home_of(subscriber_peer)
-        result = self.registrar.register(
-            self.deployment, properties, analyzed, subscriber_node
-        )
+        recorder = self.recorder
+        with recorder.span("register", query=name, strategy=self.registrar.strategy) as span:
+            with recorder.span("parse"):
+                parsed = parse_query(query) if isinstance(query, str) else query
+            with recorder.span("analyze"):
+                analyzed = analyze(parsed)
+                properties = extract_from_analysis(analyzed, name)
+            subscriber_node = self.net.home_of(subscriber_peer)
+            with recorder.span("plan"):
+                result = self.registrar.register(
+                    self.deployment, properties, analyzed, subscriber_node
+                )
+            if recorder.enabled:
+                span.set(accepted=result.accepted)
         self.results.append(result)
+        self._record_decision(result)
         self._preflight(f"after registering query {name!r}")
         return result
 
@@ -326,13 +343,21 @@ class StreamGlobe:
             range(len(prepared)),
             key=lambda i: admission_order_key(prepared[i][1]),
         )
+        recorder = self.recorder
         by_name: Dict[str, RegistrationResult] = {}
         for i in order:
             name, properties, analyzed, subscriber_node = prepared[i]
-            result = self.registrar.register(
-                self.deployment, properties, analyzed, subscriber_node
-            )
+            with recorder.span(
+                "register", query=name, strategy=self.registrar.strategy, batch=True
+            ) as span:
+                with recorder.span("plan"):
+                    result = self.registrar.register(
+                        self.deployment, properties, analyzed, subscriber_node
+                    )
+                if recorder.enabled:
+                    span.set(accepted=result.accepted)
             self.results.append(result)
+            self._record_decision(result)
             by_name[name] = result
         self._preflight(f"after batch registration of {len(prepared)} queries")
         return [by_name[name] for name in names]
@@ -346,7 +371,69 @@ class StreamGlobe:
         """
         from .deregister import Deregistrar
 
-        return Deregistrar(self.planner).deregister(self.deployment, name)
+        with self.recorder.span("deregister", query=name) as span:
+            removed = Deregistrar(self.planner).deregister(self.deployment, name)
+            if self.recorder.enabled:
+                span.set(removed_streams=list(removed))
+        return removed
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _record_decision(self, result: RegistrationResult) -> None:
+        """Emit the machine-readable "why this plan" event (traced only)."""
+        if not self.recorder.enabled:
+            return
+        from .explain import decision_record
+
+        record = decision_record(result, self.deployment)
+        record["strategy"] = self.registrar.strategy
+        self.recorder.event("plan.decision", **record)
+        self._sync_cache_gauges()
+
+    def cache_stats(self) -> Dict[str, Dict[str, float]]:
+        """Hit/miss/invalidation counters of every control-plane cache.
+
+        Always available (the counters are plain ints kept regardless of
+        tracing); the same numbers feed the recorder's
+        ``cache.*`` counter registry on traced systems and the bench
+        reports' cache-hit-rate fields.
+        """
+
+        def rated(hits: float, misses: float, **extra: float) -> Dict[str, float]:
+            total = hits + misses
+            stats = {"hits": hits, "misses": misses}
+            stats["hit_rate"] = hits / total if total else 0.0
+            stats.update(extra)
+            return stats
+
+        routes = self.planner.routes
+        stats = {
+            "route": rated(
+                routes.hits,
+                routes.misses,
+                invalidations=routes.invalidations,
+                entries=len(routes),
+            ),
+            "rate": rated(
+                self.planner.rate_cache_hits, self.planner.rate_cache_misses
+            ),
+        }
+        memo = self.registrar.match_memo
+        if memo is not None:
+            stats["match"] = memo.stats()
+        return stats
+
+    def _sync_cache_gauges(self) -> None:
+        """Mirror the always-on cache counters into the recorder."""
+        recorder = self.recorder
+        for cache, stats in self.cache_stats().items():
+            for key, value in stats.items():
+                if key == "hit_rate":
+                    recorder.set_gauge(f"cache.{cache}.hit_rate", value)
+                else:
+                    recorder.counters[f"cache.{cache}.{key}"] = value
+        recorder.counters["planner.plans_costed"] = self.planner.plans_costed
 
     # ------------------------------------------------------------------
     # Fault handling and plan repair
@@ -414,8 +501,12 @@ class StreamGlobe:
             schedule=faults,
             repair=repair,
             capture=capture,
+            recorder=self.recorder,
         )
-        return simulator.run()
+        metrics = simulator.run()
+        if self.recorder.enabled:
+            self._sync_cache_gauges()
+        return metrics
 
     # ------------------------------------------------------------------
     # Reporting helpers

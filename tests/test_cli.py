@@ -79,8 +79,26 @@ class TestBenchCli:
         output = capsys.readouterr().out
         assert "Query registration times" in output
 
+    def test_caches_command_runs(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["caches"]) == 0
+        output = capsys.readouterr().out
+        assert "Cache hit rate" in output
+        assert "Planner phase wall time" in output
+
     def test_unknown_experiment_rejected(self):
         from repro.bench.__main__ import main
 
         with pytest.raises(SystemExit):
             main(["figure99"])
+
+
+class TestBenchSchemas:
+    def test_micro_report_carries_cache_hit_rates(self):
+        from repro.bench.micro import run_benchmark
+
+        report = run_benchmark(["smoke"], repeats=1)
+        entry = report["scenarios"]["smoke"]
+        assert set(entry["cache_hit_rate"]) == {"route", "rate", "match"}
+        assert all(0.0 <= v <= 1.0 for v in entry["cache_hit_rate"].values())

@@ -63,6 +63,27 @@ class TestDerivedFigures:
     def test_total_mbit(self, metrics):
         assert metrics.total_mbit() == pytest.approx(1.5)
 
+    def test_peer_accumulated_mbit_in_out(self, net):
+        """Pin the in+out convention (referenced by the docstring).
+
+        Every link's bits count toward *both* endpoints, so a relay
+        peer is charged for its inbound and outbound legs, and summing
+        the per-peer figures over the whole network double-counts every
+        transferred bit — exactly twice :meth:`total_mbit`.
+        """
+        m = RunMetrics(duration=10.0)
+        # SP4 -> SP5 -> SP1: one 2-hop transfer of 1 MBit per leg.
+        m.add_link_bits(net.link("SP4", "SP5"), 1_000_000.0)
+        m.add_link_bits(net.link("SP5", "SP1"), 1_000_000.0)
+        # Endpoint peers are charged once, the relay peer for both legs.
+        assert m.peer_accumulated_mbit(net, "SP4") == pytest.approx(1.0)
+        assert m.peer_accumulated_mbit(net, "SP5") == pytest.approx(2.0)
+        assert m.peer_accumulated_mbit(net, "SP1") == pytest.approx(1.0)
+        total_over_peers = sum(
+            m.peer_accumulated_mbit(net, name) for name in net.super_peer_names()
+        )
+        assert total_over_peers == pytest.approx(2.0 * m.total_mbit())
+
     def test_series_cover_whole_network(self, metrics, net):
         assert len(metrics.cpu_series(net)) == len(net)
         assert len(metrics.traffic_series(net)) == len(net.links())

@@ -1,0 +1,105 @@
+"""CLI tests: ``python -m repro.obs record|summarize|diff|chrome``."""
+
+import json
+
+import pytest
+
+from repro.obs.cli import hit_rates, main
+
+
+@pytest.fixture(scope="module")
+def run_log_path(tmp_path_factory):
+    """One recorded churn-smoke run, shared by the read-only commands."""
+    path = tmp_path_factory.mktemp("obs") / "run.jsonl"
+    exit_code = main(
+        ["record", "--scenario", "churn-smoke", "-o", str(path)]
+    )
+    assert exit_code == 0
+    return str(path)
+
+
+class TestHitRates:
+    def test_pairs_hits_with_misses(self):
+        rates = hit_rates(
+            {"cache.route.hits": 8, "cache.route.misses": 2, "other": 5}
+        )
+        assert rates == {"cache.route": (8, 2, 0.8)}
+
+    def test_zero_total_is_zero_rate(self):
+        assert hit_rates({"cache.rate.hits": 0})["cache.rate"][2] == 0.0
+
+
+class TestRecord:
+    def test_record_writes_all_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        chrome = tmp_path / "trace.json"
+        prom = tmp_path / "metrics.txt"
+        code = main(
+            [
+                "record", "--scenario", "churn-smoke",
+                "-o", str(out), "--chrome", str(chrome), "--prom", str(prom),
+            ]
+        )
+        assert code == 0
+        assert out.exists() and chrome.exists() and prom.exists()
+        with open(chrome, "r", encoding="utf-8") as handle:
+            assert json.load(handle)["traceEvents"]
+        assert prom.read_text().startswith("# TYPE repro_")
+        assert "spans" in capsys.readouterr().out
+
+    def test_unknown_scenario_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["record", "--scenario", "nope", "-o", str(tmp_path / "x.jsonl")])
+
+
+class TestSummarize:
+    def test_prints_every_section(self, run_log_path, capsys):
+        assert main(["summarize", run_log_path]) == 0
+        out = capsys.readouterr().out
+        # The acceptance-criterion surface: per-epoch peer CPU / link
+        # traffic series, planner span timings, and cache hit rates.
+        assert "Per-epoch peer CPU load" in out
+        assert "Per-epoch link traffic" in out
+        assert "Per-epoch item flow and churn transients" in out
+        assert "planner span timings" in out
+        assert "register" in out and "search" in out
+        assert "cache.route" in out and "hit_rate" in out
+        assert "== plan decisions ==" in out
+        assert "== repairs ==" in out
+
+    def test_churn_columns_present(self, run_log_path, capsys):
+        main(["summarize", run_log_path])
+        out = capsys.readouterr().out
+        assert "rerouted_bits" in out and "faults" in out
+
+
+class TestDiff:
+    def test_self_diff_reports_identical_counters(self, run_log_path, capsys):
+        assert main(["diff", run_log_path, run_log_path]) == 0
+        out = capsys.readouterr().out
+        assert "(identical)" in out
+        assert "Epoch aggregates:" in out
+
+    def test_diff_shows_changed_counters(self, run_log_path, tmp_path, capsys):
+        other = tmp_path / "other.jsonl"
+        with open(run_log_path, "r", encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle]
+        for record in lines:
+            if record.get("type") == "counter" and record["name"] == "exec.runs":
+                record["value"] += 1
+        with open(other, "w", encoding="utf-8") as handle:
+            for record in lines:
+                handle.write(json.dumps(record) + "\n")
+        main(["diff", run_log_path, str(other)])
+        out = capsys.readouterr().out
+        assert "exec.runs" in out
+
+
+class TestChromeCommand:
+    def test_converts_run_log(self, run_log_path, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["chrome", run_log_path, "-o", str(out)]) == 0
+        with open(out, "r", encoding="utf-8") as handle:
+            trace = json.load(handle)
+        phases = {event["ph"] for event in trace["traceEvents"]}
+        assert {"X", "C"} <= phases

@@ -1,0 +1,132 @@
+"""Exporter tests: JSONL round-trip, Chrome traces, Prometheus text."""
+
+import json
+
+import pytest
+
+from repro.network.topology import example_topology
+from repro.obs import (
+    Recorder,
+    chrome_trace,
+    load_jsonl,
+    prometheus_text,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.recorder import HISTOGRAM_BUCKETS
+from repro.obs.timeseries import EpochSnapshot
+
+
+@pytest.fixture()
+def recorder():
+    r = Recorder()
+    with r.span("register", query="Q1") as span:
+        with r.span("plan"):
+            pass
+        span.set(accepted=True)
+    r.event("plan.decision", query="Q1", accepted=True)
+    r.inc("cache.route.hits", 7)
+    r.inc("cache.route.misses", 3)
+    r.set_gauge("cache.route.hit_rate", 0.7)
+    r.observe("op.select.batch_s", 0.004)
+    r.add_epoch(
+        EpochSnapshot(
+            index=0,
+            t_start=0.0,
+            t_end=5.0,
+            peer_cpu_percent={"SP4": 12.5},
+            link_kbps={"SP4-SP5": 80.0},
+            items_generated=100,
+            items_delivered=90,
+            inflight_peak=6,
+        )
+    )
+    return r
+
+
+class TestJsonlRoundTrip:
+    def test_full_round_trip(self, recorder, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        write_jsonl(recorder, path, net=example_topology(), extra={"scenario": "t"})
+        log = load_jsonl(path)
+        assert log.meta["format"] == "repro.obs/1"
+        assert log.meta["scenario"] == "t"
+        assert log.meta["peers"]["SP4"] > 0
+        assert [s["name"] for s in log.spans] == ["plan", "register"]
+        assert log.spans[0]["parent"] == log.spans[1]["id"]
+        assert log.events_named("plan.decision")[0]["fields"]["query"] == "Q1"
+        assert log.counters["cache.route.hits"] == 7
+        assert log.gauges["cache.route.hit_rate"] == 0.7
+        assert log.histograms["op.select.batch_s"]["count"] == 1
+        (epoch,) = log.epochs
+        assert epoch.peer_cpu_percent == {"SP4": 12.5}
+        assert epoch.items_delivered == 90
+
+    def test_every_line_is_valid_json(self, recorder, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        write_jsonl(recorder, path)
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+        assert lines[0]["type"] == "meta"
+        assert {line["type"] for line in lines} == {
+            "meta", "span", "event", "epoch", "counter", "gauge", "hist",
+        }
+
+    def test_span_totals_match_recorder(self, recorder, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        write_jsonl(recorder, path)
+        log = load_jsonl(path)
+        assert log.span_totals().keys() == recorder.span_totals().keys()
+        for name, entry in recorder.span_totals().items():
+            assert log.span_totals()[name]["count"] == entry["count"]
+
+
+class TestChromeTrace:
+    def test_spans_become_complete_events(self, recorder):
+        trace = chrome_trace(recorder)
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in xs} == {"register", "plan"}
+        register = next(e for e in xs if e["name"] == "register")
+        assert register["dur"] >= 0
+        assert register["args"]["accepted"] is True
+
+    def test_epochs_become_counter_events(self, recorder):
+        trace = chrome_trace(recorder)
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        names = {e["name"] for e in counters}
+        assert "data-plane CPU (%)" in names
+        assert "in-flight items" in names
+
+    def test_runlog_source_equivalent(self, recorder, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        write_jsonl(recorder, path)
+        from_log = chrome_trace(load_jsonl(path))
+        from_recorder = chrome_trace(recorder)
+        assert len(from_log["traceEvents"]) == len(from_recorder["traceEvents"])
+
+    def test_write_chrome_trace_is_json(self, recorder, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(recorder, path)
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert data["displayTimeUnit"] == "ms"
+
+
+class TestPrometheusText:
+    def test_counters_and_gauges(self, recorder):
+        text = prometheus_text(recorder)
+        assert "# TYPE repro_cache_route_hits counter" in text
+        assert "repro_cache_route_hits 7" in text
+        assert "# TYPE repro_cache_route_hit_rate gauge" in text
+
+    def test_histogram_buckets_are_cumulative(self, recorder):
+        recorder.observe("op.select.batch_s", 50.0)  # large value
+        text = prometheus_text(recorder)
+        counts = []
+        for line in text.splitlines():
+            if line.startswith("repro_op_select_batch_s_bucket"):
+                counts.append(int(line.rsplit(" ", 1)[1]))
+        assert len(counts) == len(HISTOGRAM_BUCKETS) + 1
+        assert counts == sorted(counts)  # monotone
+        assert counts[-1] == 2  # +Inf bucket sees every observation
+        assert "repro_op_select_batch_s_count 2" in text
