@@ -2,21 +2,49 @@
 
 Usage::
 
-    python -m repro.analysis                       # both passes
+    python -m repro.analysis                       # default full gate
     python -m repro.analysis --code src/repro      # lint only
     python -m repro.analysis --plan                # verify all scenarios
-    python -m repro.analysis --plan --scenario 1 --strategy sharing
+    python -m repro.analysis --plan --scenario 1 --strategy stream-sharing
+    python -m repro.analysis --flow --shards       # dataflow + sharding
+    python -m repro.analysis --shards --scenario grid --shard-plan-out plan.json
 
-``--code`` lints the given files/directories (default ``src/repro``)
-with the repro-specific :mod:`~repro.analysis.linter`.  ``--plan``
-builds the paper's benchmark scenarios, registers their workload
-(without pumping items) and runs the
-:func:`~repro.analysis.plan_verifier.verify_deployment` invariants over
-the resulting deployments.  ``--churn`` replays the churn scenario's
-fault schedule against a registered deployment and verifies the plan
-after every repair (``python -m repro.analysis --churn``).  Exit status
-is 0 iff every requested pass is free of error-severity diagnostics,
-which is what CI keys on.
+Passes
+------
+
+* ``--code`` lints the given files/directories (default ``src/repro``)
+  with the repro-specific :mod:`~repro.analysis.linter` (L3xx);
+* ``--plan`` builds the paper's benchmark scenarios, registers their
+  workload (without pumping items) and runs the
+  :func:`~repro.analysis.plan_verifier.verify_deployment` invariants
+  (P1xx/T2xx) over the resulting deployments;
+* ``--flow`` runs the abstract interpreter
+  (:func:`~repro.analysis.flow.analyze_flow`, F4xx) over the same
+  deployments;
+* ``--shards`` runs the shard-safety certifier
+  (:func:`~repro.analysis.shards.certify_shards`, S5xx) and prints each
+  deployment's :class:`~repro.analysis.shards.ShardPlan` as one
+  ``SHARD-PLAN <scenario> <strategy> <json>`` line (optionally also
+  written to ``--shard-plan-out``);
+* ``--churn`` replays the churn scenario's fault schedule against a
+  registered deployment and re-runs plan/flow/shards after every
+  repair, re-validating shard certificates against the bumped
+  topology version.
+
+Exit-code contract
+------------------
+
+Every pass follows the same contract, which is what CI keys on:
+
+* ``0`` — every requested pass ran and produced no *error*-severity
+  diagnostics (warnings do not fail the gate);
+* ``1`` — at least one pass reported an error diagnostic.  This
+  includes operational findings reported *as* diagnostics: a ``--code``
+  path that does not exist (``L307``) or contains no Python files
+  (``L308``) produces an error report rather than silently linting
+  nothing;
+* ``2`` — usage errors detected before any pass runs (unknown flags,
+  unknown ``--scenario``/``--strategy`` values), via ``argparse``.
 """
 
 from __future__ import annotations
@@ -24,11 +52,16 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from .diagnostics import AnalysisReport
 from .linter import lint_paths
-from .plan_verifier import verify_deployment
+
+if TYPE_CHECKING:  # pragma: no cover - engine-side import kept lazy
+    from typing import Callable, Dict
+
+    from ..workload.scenarios import Scenario
+    from .shards import ShardPlan
 
 __all__ = ["main"]
 
@@ -36,19 +69,67 @@ _SCENARIOS = ("1", "2", "grid")
 _DEFAULT_CODE_PATHS = (os.path.join("src", "repro"),)
 
 
+def _scenario_builders() -> "Dict[str, Callable[[], Scenario]]":
+    from ..workload.scenarios import scenario_grid, scenario_one, scenario_two
+
+    return {
+        "1": scenario_one,
+        "2": scenario_two,
+        "grid": lambda: scenario_grid(rows=3, cols=3, query_count=24),
+    }
+
+
+def _code_report(paths: Sequence[str]) -> AnalysisReport:
+    """Lint ``paths``; missing or Python-free paths become diagnostics.
+
+    A nonexistent path is an error the report carries (``L307``), not a
+    silent no-op: the gate must fail loudly when pointed at nothing.
+    """
+    title = f"code lint: {', '.join(paths)}"
+    report = AnalysisReport(title=title)
+    present: List[str] = []
+    for path in paths:
+        if os.path.exists(path):
+            present.append(path)
+        else:
+            report.add(
+                "L307",
+                path,
+                "no such file or directory; nothing was linted for this path",
+                hint="check the --code arguments",
+            )
+    if present:
+        linted = lint_paths(present, title=title)
+        report.merge(linted)
+        if not linted.diagnostics and not _has_python_files(present):
+            report.add(
+                "L308",
+                ", ".join(present),
+                "path(s) exist but contain no Python files; nothing was "
+                "linted",
+                hint="point --code at a Python source tree",
+            )
+    return report
+
+
+def _has_python_files(paths: Sequence[str]) -> bool:
+    for path in paths:
+        if os.path.isfile(path) and path.endswith(".py"):
+            return True
+        for _root, _dirs, files in os.walk(path):
+            if any(name.endswith(".py") for name in files):
+                return True
+    return False
+
+
 def _plan_reports(
     scenarios: Sequence[str], strategies: Optional[Sequence[str]]
 ) -> List[AnalysisReport]:
     # Imported lazily: --code must work even if the engine side is broken.
     from ..sharing.strategies import STRATEGIES
-    from ..workload.scenarios import scenario_grid, scenario_one, scenario_two
     from .preflight import build_verified_system
 
-    builders = {
-        "1": scenario_one,
-        "2": scenario_two,
-        "grid": lambda: scenario_grid(rows=3, cols=3, query_count=24),
-    }
+    builders = _scenario_builders()
     reports = []
     for key in scenarios:
         scenario = builders[key]()
@@ -58,7 +139,44 @@ def _plan_reports(
     return reports
 
 
-def _churn_reports(strategies: Optional[Sequence[str]]) -> List[AnalysisReport]:
+def _flow_reports(
+    scenarios: Sequence[str], strategies: Optional[Sequence[str]]
+) -> List[AnalysisReport]:
+    from ..sharing.strategies import STRATEGIES
+    from .preflight import build_flow_report
+
+    builders = _scenario_builders()
+    reports = []
+    for key in scenarios:
+        scenario = builders[key]()
+        for strategy in strategies or list(STRATEGIES):
+            title = f"flow analysis: scenario {key}, strategy {strategy!r}"
+            reports.append(build_flow_report(scenario, strategy, title=title))
+    return reports
+
+
+def _shard_reports(
+    scenarios: Sequence[str], strategies: Optional[Sequence[str]]
+) -> Tuple[List[AnalysisReport], List[Tuple[str, str, "ShardPlan"]]]:
+    from ..sharing.strategies import STRATEGIES
+    from .preflight import build_shard_plan
+
+    builders = _scenario_builders()
+    reports: List[AnalysisReport] = []
+    plans: List[Tuple[str, str, "ShardPlan"]] = []
+    for key in scenarios:
+        scenario = builders[key]()
+        for strategy in strategies or list(STRATEGIES):
+            title = f"shard certification: scenario {key}, strategy {strategy!r}"
+            plan, report = build_shard_plan(scenario, strategy, title=title)
+            reports.append(report)
+            plans.append((key, strategy, plan))
+    return reports, plans
+
+
+def _churn_reports(
+    strategies: Optional[Sequence[str]], passes: Tuple[str, ...]
+) -> List[AnalysisReport]:
     from ..sharing.strategies import STRATEGIES
     from ..workload.scenarios import scenario_churn
     from .preflight import build_churned_system
@@ -70,6 +188,7 @@ def _churn_reports(strategies: Optional[Sequence[str]]) -> List[AnalysisReport]:
                 scenario_churn(),
                 strategy,
                 title=f"churn verification, strategy {strategy!r}",
+                passes=passes,
             )
         )
     return reports
@@ -78,7 +197,8 @@ def _churn_reports(strategies: Optional[Sequence[str]]) -> List[AnalysisReport]:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Static plan verifier and repro-specific source linter.",
+        description="Static analysis gates: source lint, plan verifier, "
+        "flow analyzer, shard certifier.",
     )
     parser.add_argument(
         "--code",
@@ -93,21 +213,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="register the benchmark scenarios and verify their deployments",
     )
     parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="run the F4xx abstract interpreter over the scenario deployments",
+    )
+    parser.add_argument(
+        "--shards",
+        action="store_true",
+        help="certify shard partitions (S5xx) and print each ShardPlan as "
+        "a 'SHARD-PLAN <scenario> <strategy> <json>' line",
+    )
+    parser.add_argument(
+        "--shard-plan-out",
+        metavar="PATH",
+        default=None,
+        help="also write the last certified ShardPlan JSON to PATH",
+    )
+    parser.add_argument(
         "--churn",
         action="store_true",
-        help="replay the churn scenario's faults and verify every repaired "
-        "deployment",
+        help="replay the churn scenario's faults and re-run the plan, flow "
+        "and shards passes after every repair",
     )
     parser.add_argument(
         "--scenario",
         choices=_SCENARIOS,
         action="append",
-        help="restrict --plan to one scenario (repeatable; default: all)",
+        help="restrict plan/flow/shards to one scenario (repeatable; "
+        "default: all)",
     )
     parser.add_argument(
         "--strategy",
         action="append",
-        help="restrict --plan to one sharing strategy (repeatable; default: all)",
+        help="restrict to one sharing strategy (repeatable; default: all)",
     )
     parser.add_argument(
         "--quiet",
@@ -118,37 +256,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     run_code = args.code is not None
     run_plan = args.plan
+    run_flow = args.flow
+    run_shards = args.shards
     run_churn = args.churn
-    if not run_code and not run_plan and not run_churn:
+    if not any((run_code, run_plan, run_flow, run_shards, run_churn)):
         run_code = run_plan = True  # no flags: run the default full gate
 
+    if args.strategy and (run_plan or run_flow or run_shards or run_churn):
+        from ..sharing.strategies import STRATEGIES
+
+        unknown = [s for s in args.strategy if s not in STRATEGIES]
+        if unknown:
+            parser.error(
+                f"unknown strategy {', '.join(unknown)}; "
+                f"pick from {', '.join(STRATEGIES)}"
+            )
+
+    scenarios = args.scenario or _SCENARIOS
     reports: List[AnalysisReport] = []
     if run_code:
         paths = args.code if args.code else list(_DEFAULT_CODE_PATHS)
-        missing = [p for p in paths if not os.path.exists(p)]
-        if missing:
-            parser.error(f"no such file or directory: {', '.join(missing)}")
-        reports.append(lint_paths(paths, title=f"code lint: {', '.join(paths)}"))
+        reports.append(_code_report(paths))
     if run_plan:
-        from ..sharing.strategies import STRATEGIES
-
-        unknown = [s for s in args.strategy or [] if s not in STRATEGIES]
-        if unknown:
-            parser.error(
-                f"unknown strategy {', '.join(unknown)}; "
-                f"pick from {', '.join(STRATEGIES)}"
-            )
-        reports.extend(_plan_reports(args.scenario or _SCENARIOS, args.strategy))
+        reports.extend(_plan_reports(scenarios, args.strategy))
+    if run_flow:
+        reports.extend(_flow_reports(scenarios, args.strategy))
+    if run_shards:
+        shard_reports, plans = _shard_reports(scenarios, args.strategy)
+        reports.extend(shard_reports)
+        for key, strategy, plan in plans:
+            print(f"SHARD-PLAN {key} {strategy} {plan.to_json()}")
+        if args.shard_plan_out and plans:
+            with open(args.shard_plan_out, "w", encoding="utf-8") as handle:
+                handle.write(plans[-1][2].to_json() + "\n")
     if run_churn:
-        from ..sharing.strategies import STRATEGIES
-
-        unknown = [s for s in args.strategy or [] if s not in STRATEGIES]
-        if unknown:
-            parser.error(
-                f"unknown strategy {', '.join(unknown)}; "
-                f"pick from {', '.join(STRATEGIES)}"
-            )
-        reports.extend(_churn_reports(args.strategy))
+        churn_passes: Tuple[str, ...] = ("plan", "flow", "shards")
+        reports.extend(_churn_reports(args.strategy, churn_passes))
 
     failed = False
     for report in reports:

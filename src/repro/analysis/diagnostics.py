@@ -14,7 +14,13 @@ Code ranges
 * ``P1xx`` — deployment/plan structure (routes, derivation, delivery,
   usage ledger);
 * ``T2xx`` — operator-chain type checking against stream schemas;
-* ``L3xx`` — source-code lint rules.
+* ``L3xx`` — source-code lint rules;
+* ``F4xx`` — dataflow facts (:mod:`repro.analysis.flow`): F400 missing
+  statistics, F401 committed estimate outside the derived interval,
+  F402 dead stream (warning), F403 missed sharing (warning);
+* ``S5xx`` — shard safety (:mod:`repro.analysis.shards`): S501
+  unclassifiable operator, S510 order-sensitive consumer blocks a cut,
+  S511 multi-input subscription pins its inputs' feed paths.
 """
 
 from __future__ import annotations

@@ -22,6 +22,16 @@ not know or is not strict enough about:
   writing module globals or class attributes: operators are
   instantiated per installed pipeline and must keep their state
   per-instance, or shared plans interfere.
+* ``L310`` **unordered-iteration** — iterating a syntactic ``set``
+  expression (``set(...)``/``frozenset(...)`` calls, set
+  literals/comprehensions, set algebra like ``set(a) - set(b)``) in a
+  ``for`` loop, comprehension, or an order-sensitive sink
+  (``list``/``tuple``/``enumerate``/``str.join``).  Set iteration
+  order is hash-order, so anything derived from it — diagnostics,
+  plans, teardown order — silently varies across processes; the shard
+  certifier's determinism guarantees assume it never happens.  Wrap
+  in ``sorted(...)`` to fix the order.  (Dicts are insertion-ordered
+  in modern Python and are not flagged.)
 
 ``lint_paths`` walks files/directories and returns an
 :class:`~repro.analysis.diagnostics.AnalysisReport` whose subjects are
@@ -41,6 +51,13 @@ __all__ = ["lint_source", "lint_paths"]
 _MUTABLE_CONSTRUCTORS = ("list", "dict", "set")
 _INIT_METHODS = ("__init__", "__post_init__", "__new__", "__setattr__", "__setstate__")
 _OPERATOR_METHODS = ("process", "flush")
+_ORDER_SENSITIVE_SINKS = ("list", "tuple", "enumerate")
+_SET_ALGEBRA_METHODS = (
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+)
 
 
 def lint_source(source: str, filename: str = "<string>") -> List[Diagnostic]:
@@ -237,6 +254,7 @@ class _LintVisitor(ast.NodeVisitor):
 
     # ------------------------------------------------------------------
     # L304 — frozen dataclass mutation
+    # L310 — unordered iteration through order-sensitive call sinks
     # ------------------------------------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
@@ -254,7 +272,63 @@ class _LintVisitor(ast.NodeVisitor):
                 hint="frozen dataclasses (plans, properties, links) are shared "
                 "by identity; build a new instance instead",
             )
+        sink = None
+        if isinstance(func, ast.Name) and func.id in _ORDER_SENSITIVE_SINKS:
+            sink = func.id
+        elif isinstance(func, ast.Attribute) and func.attr == "join":
+            sink = "join"
+        if sink is not None and node.args and self._is_set_expr(node.args[0]):
+            self._report(
+                "L310",
+                node.args[0],
+                f"{sink}() materializes a set expression in hash order",
+                hint="wrap the set expression in sorted(...) so the "
+                "resulting order is deterministic",
+            )
         self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # L310 — iterating unordered set expressions
+    # ------------------------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        self._check_unordered_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_unordered_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _check_unordered_iteration(self, iterable: ast.expr) -> None:
+        if self._is_set_expr(iterable):
+            self._report(
+                "L310",
+                iterable,
+                "iteration over an unordered set expression; the visit "
+                "order is hash-order and varies across processes",
+                hint="wrap the set expression in sorted(...) so everything "
+                "derived from the loop is deterministic",
+            )
+
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        """Syntactically recognizable set-valued expressions."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_ALGEBRA_METHODS
+                and self._is_set_expr(func.value)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        return False
 
     # ------------------------------------------------------------------
     # L306 — operators mutating shared state in process/flush

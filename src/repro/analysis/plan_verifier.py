@@ -144,7 +144,8 @@ def _check_availability_index(deployment: Deployment, report: AnalysisReport) ->
                 expected[node][stream.stream_id] += 1
     for node, stream_ids in deployment._available.items():
         actual = Counter(stream_ids)
-        for stream_id in set(expected.get(node, Counter())) - set(actual):
+        # Sorted: diagnostic order must not depend on set hash order.
+        for stream_id in sorted(set(expected.get(node, Counter())) - set(actual)):
             report.add(
                 "P105",
                 f"node {node}",

@@ -1,27 +1,45 @@
-"""Glue between the verifier and a live :class:`StreamGlobe` instance.
+"""Glue between the analysis passes and a live :class:`StreamGlobe`.
 
-Two entry points:
+Entry points per pass:
 
-* :func:`verify_system` — verify an existing system's deployment against
-  its own statistics catalog (this is what the ``verify=True`` pre-flight
-  hook and the benchmark fixtures call);
-* :func:`build_verified_system` — build a scenario's system, register
-  its full workload *without executing it*, and return the verification
-  report (this is what ``python -m repro.analysis --plan`` runs).
+* :func:`verify_system` / :func:`build_verified_system` — the P1xx/T2xx
+  plan verifier (``--plan``);
+* :func:`flow_system` / :func:`build_flow_report` — the F4xx abstract
+  interpreter (``--flow``);
+* :func:`certify_system` / :func:`build_shard_plan` — the S5xx shard
+  certifier (``--shards``);
+* :func:`build_churned_system` — replay a scenario's fault schedule and
+  run the requested passes after every repair (``--churn``, and the
+  certificate re-validation gate for ``--flow``/``--shards``).
+
+The ``build_*`` variants register a scenario's full workload *without
+executing it* — they are what ``python -m repro.analysis`` runs in CI.
+All passes are span-traced through the system's recorder
+(``analysis.flow`` / ``analysis.shards`` spans).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from .diagnostics import AnalysisReport
+from .flow import analyze_flow
 from .plan_verifier import verify_deployment
+from .shards import ShardPlan, certify_shards
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..sharing.system import StreamGlobe
     from ..workload.scenarios import Scenario
 
-__all__ = ["verify_system", "build_verified_system", "build_churned_system"]
+__all__ = [
+    "build_churned_system",
+    "build_flow_report",
+    "build_shard_plan",
+    "build_verified_system",
+    "certify_system",
+    "flow_system",
+    "verify_system",
+]
 
 
 def verify_system(
@@ -31,55 +49,113 @@ def verify_system(
     return verify_deployment(system.deployment, catalog=system.catalog, title=title)
 
 
+def flow_system(
+    system: "StreamGlobe", title: str = "flow analysis"
+) -> AnalysisReport:
+    """Run the F4xx flow pass over a system's current deployment."""
+    return analyze_flow(
+        system.deployment, system.catalog, title=title, recorder=system.recorder
+    )
+
+
+def certify_system(
+    system: "StreamGlobe", title: str = "shard certification"
+) -> Tuple[ShardPlan, AnalysisReport]:
+    """Run the S5xx shard certifier over a system's current deployment."""
+    return certify_shards(
+        system.deployment, system.catalog, title=title, recorder=system.recorder
+    )
+
+
+def _build_system(scenario: "Scenario", strategy: str) -> "StreamGlobe":
+    """Register a scenario's full workload without executing it."""
+    from ..sharing.system import StreamGlobe
+
+    system = StreamGlobe(scenario.build_network(), strategy=strategy)
+    for source in scenario.sources:
+        system.register_stream(
+            source.name,
+            "photons/photon",
+            source.generator_factory(),
+            frequency=source.frequency,
+            source_peer=source.source_peer,
+        )
+    for spec in scenario.queries:
+        system.register_query(spec.name, spec.text, spec.subscriber_peer)
+    return system
+
+
 def build_verified_system(
     scenario: "Scenario", strategy: str, title: str = "plan verification"
 ) -> AnalysisReport:
     """Register ``scenario`` under ``strategy`` and verify the deployment."""
-    from ..sharing.system import StreamGlobe
+    return verify_system(_build_system(scenario, strategy), title=title)
 
-    system = StreamGlobe(scenario.build_network(), strategy=strategy)
-    for source in scenario.sources:
-        system.register_stream(
-            source.name,
-            "photons/photon",
-            source.generator_factory(),
-            frequency=source.frequency,
-            source_peer=source.source_peer,
-        )
-    for spec in scenario.queries:
-        system.register_query(spec.name, spec.text, spec.subscriber_peer)
-    return verify_system(system, title=title)
+
+def build_flow_report(
+    scenario: "Scenario", strategy: str, title: str = "flow analysis"
+) -> AnalysisReport:
+    """Register ``scenario`` under ``strategy`` and run the flow pass."""
+    return flow_system(_build_system(scenario, strategy), title=title)
+
+
+def build_shard_plan(
+    scenario: "Scenario", strategy: str, title: str = "shard certification"
+) -> Tuple[ShardPlan, AnalysisReport]:
+    """Register ``scenario`` under ``strategy`` and certify its shards."""
+    return certify_system(_build_system(scenario, strategy), title=title)
 
 
 def build_churned_system(
-    scenario: "Scenario", strategy: str, title: str = "churn verification"
-) -> "list[AnalysisReport]":
-    """Register ``scenario``, replay its fault schedule, verify each repair.
+    scenario: "Scenario",
+    strategy: str,
+    title: str = "churn verification",
+    passes: Tuple[str, ...] = ("plan",),
+) -> List[AnalysisReport]:
+    """Register ``scenario``, replay its fault schedule, re-run ``passes``.
 
     Applies every scheduled fault to the registered (unexecuted)
-    deployment through :meth:`StreamGlobe.apply_fault` and verifies the
-    repaired deployment after each event — the static gate for
-    ``python -m repro.analysis --churn``.
+    deployment through :meth:`StreamGlobe.apply_fault` and re-runs the
+    requested passes (``"plan"``, ``"flow"``, ``"shards"``) after each
+    event.  Shard certificates are pinned to the topology: each
+    re-certification is checked to carry the bumped
+    :attr:`~repro.network.topology.Network.version`, so a stale
+    certificate can never be mistaken for a fresh one.
     """
-    from ..sharing.system import StreamGlobe
-
     if scenario.faults is None or not scenario.faults:
         raise ValueError(f"scenario {scenario.name!r} has no fault schedule")
-    system = StreamGlobe(scenario.build_network(), strategy=strategy)
-    for source in scenario.sources:
-        system.register_stream(
-            source.name,
-            "photons/photon",
-            source.generator_factory(),
-            frequency=source.frequency,
-            source_peer=source.source_peer,
-        )
-    for spec in scenario.queries:
-        system.register_query(spec.name, spec.text, spec.subscriber_peer)
-    reports = []
+    unknown = set(passes) - {"plan", "flow", "shards"}
+    if unknown:
+        raise ValueError(f"unknown churn passes: {sorted(unknown)}")
+    system = _build_system(scenario, strategy)
+    last_plan: Optional[ShardPlan] = None
+    reports: List[AnalysisReport] = []
     for event in scenario.faults.events():
         system.apply_fault(event)
-        reports.append(
-            verify_system(system, title=f"{title}: after {event.describe()}")
-        )
+        context = f"{title}: after {event.describe()}"
+        if "plan" in passes:
+            reports.append(verify_system(system, title=context))
+        if "flow" in passes:
+            reports.append(flow_system(system, title=f"flow {context}"))
+        if "shards" in passes:
+            plan, report = certify_system(system, title=f"shards {context}")
+            if plan.network_version != system.net.version:
+                report.add(
+                    "S501",
+                    "shard certificate",
+                    f"certificate pinned to network version "
+                    f"{plan.network_version} but the topology is at "
+                    f"{system.net.version}; re-certification raced a "
+                    "topology change",
+                )
+            if last_plan is not None and plan.network_version <= last_plan.network_version:
+                report.add(
+                    "S501",
+                    "shard certificate",
+                    "re-certification after a fault did not observe a "
+                    "network version bump; the stale certificate would "
+                    "still validate",
+                )
+            last_plan = plan
+            reports.append(report)
     return reports

@@ -45,6 +45,10 @@ class PathStatistics:
     minimum: Optional[float] = None
     maximum: Optional[float] = None
     avg_increment: Optional[float] = None
+    #: Largest sampled item-to-item increment — the flow analyzer's
+    #: upper bound on how fast a time-based window reference can
+    #: advance per arriving item.
+    max_increment: Optional[float] = None
     #: ``True`` when the sampled values never decreased item-to-item —
     #: the static qualification for a time-based window's reference
     #: element (streams must be sorted by it, Section 2).
@@ -158,6 +162,7 @@ class StreamStatistics:
                 if len(values) > 1:
                     increments = [b - a for a, b in zip(values, values[1:])]
                     entry.avg_increment = sum(increments) / len(increments)
+                    entry.max_increment = max(increments)
                     entry.nondecreasing = all(step >= 0 for step in increments)
                 entry.histogram = _build_histogram(
                     values, entry.minimum, entry.maximum
@@ -186,6 +191,11 @@ class StreamStatistics:
     def avg_increment(self, path: Path) -> Optional[float]:
         entry = self.paths.get(path)
         return None if entry is None else entry.avg_increment
+
+    def max_increment(self, path: Path) -> Optional[float]:
+        """Largest sampled item-to-item increment of ``path``."""
+        entry = self.paths.get(path)
+        return None if entry is None else entry.max_increment
 
     def is_nondecreasing(self, path: Path) -> Optional[bool]:
         """Whether the sampled values of ``path`` never decreased."""

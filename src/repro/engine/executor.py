@@ -462,6 +462,28 @@ class StreamSimulator:
         return metrics
 
     # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stream_counts(self) -> Dict[str, int]:
+        """Items produced per stream id over the last :meth:`run`.
+
+        Streams retired mid-run by plan repair contribute their pinned
+        counts; a repaired stream reinstalled under the same id sums
+        both segments.  This is the measured ground truth the flow
+        analyzer's interval bounds are checked against
+        (``tests/test_prop_flow_soundness.py``).
+        """
+        if not hasattr(self, "_nodes"):
+            raise ExecutionError("stream_counts() requires a completed run()")
+        counts: Dict[str, int] = {}
+        for retired in self._retired:
+            stream_id = retired.stream.stream_id
+            counts[stream_id] = counts.get(stream_id, 0) + retired.produced_count
+        for stream_id, node in self._nodes.items():
+            counts[stream_id] = counts.get(stream_id, 0) + node.produced_count
+        return counts
+
+    # ------------------------------------------------------------------
     # Fault-scheduled execution
     # ------------------------------------------------------------------
     def _run_epochs(self, gauge: _Gauge) -> None:

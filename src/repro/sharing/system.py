@@ -12,7 +12,7 @@ Typical use (see ``examples/quickstart.py``)::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..costmodel import (
     CostModel,
@@ -31,6 +31,11 @@ from .plan import Deployment, InstalledStream
 from .planner import Planner
 from .strategies import StrategyRegistrar
 from .subscribe import RegistrationResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from ..analysis.shards import ShardPlan
+    from ..faults import FaultEvent
+    from .repair import RepairReport
 
 #: Number of sample items used to build a stream's statistics entry.
 STATISTICS_SAMPLE_SIZE = 400
@@ -228,21 +233,69 @@ class StreamGlobe:
     # Static verification
     # ------------------------------------------------------------------
     def _preflight(self, context: str) -> None:
-        """Verify the deployment's invariants when ``verify=True``.
+        """Run the static analysis passes when ``verify=True``.
 
+        Three passes gate every plan mutation: the P1xx/T2xx plan
+        verifier, the F4xx flow analyzer, and the S5xx shard certifier
+        (the latter two span-traced through the system's recorder).
         Raises :class:`~repro.analysis.InvariantViolation` carrying the
-        full report if any invariant is broken.
+        merged report if any pass finds an error.
         """
         if not self.verify:
             return
         # Imported lazily: repro.analysis depends on repro.sharing.plan.
-        from ..analysis import InvariantViolation, verify_deployment
+        from ..analysis import (
+            InvariantViolation,
+            analyze_flow,
+            certify_shards,
+            verify_deployment,
+        )
 
         report = verify_deployment(
             self.deployment, catalog=self.catalog, title=f"pre-flight {context}"
         )
+        report.merge(
+            analyze_flow(
+                self.deployment,
+                self.catalog,
+                title=f"flow pre-flight {context}",
+                recorder=self.recorder,
+            )
+        )
+        _, shard_report = certify_shards(
+            self.deployment,
+            self.catalog,
+            title=f"shards pre-flight {context}",
+            recorder=self.recorder,
+        )
+        report.merge(shard_report)
         if not report.ok:
             raise InvariantViolation(context, report)
+
+    def shard_plan(self) -> "ShardPlan":
+        """The certified :class:`~repro.analysis.ShardPlan` of the
+        current deployment, cached per plan state.
+
+        The cache key fingerprints the topology version plus the
+        installed stream and query sets, so any plan mutation — a
+        registration, a deregistration, or a fault repair (which bumps
+        :attr:`Network.version`) — invalidates the certificate.
+        """
+        from ..analysis import certify_shards
+
+        fingerprint = (
+            self.net.version,
+            tuple(sorted(self.deployment.streams)),
+            tuple(sorted(self.deployment.queries)),
+        )
+        cached = getattr(self, "_shard_plan_cache", None)
+        if cached is not None and cached[0] == fingerprint:
+            return cached[1]
+        plan, _ = certify_shards(
+            self.deployment, self.catalog, recorder=self.recorder
+        )
+        self._shard_plan_cache = (fingerprint, plan)
+        return plan
 
     def find_shareable_streams(self, needed: StreamProperties):
         """All installed streams whose content can answer ``needed``."""
@@ -450,7 +503,7 @@ class StreamGlobe:
             self._repairer = PlanRepairer(self)
         return self._repairer
 
-    def apply_fault(self, event):
+    def apply_fault(self, event: "FaultEvent") -> "RepairReport":
         """Apply one :class:`~repro.faults.FaultEvent` and repair the plan.
 
         Mutates the topology, tears down every affected stream and

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import json
 import textwrap
+
+import pytest
 
 from repro.analysis.cli import main
 
@@ -46,4 +49,77 @@ def test_quiet_suppresses_passing_reports(capsys):
     assert main(["--code", "src/repro", "--quiet"]) == 0
     out = capsys.readouterr().out
     assert "code lint" not in out
+    assert out.strip() == "OK"
+
+
+# ----------------------------------------------------------------------
+# The exit-code contract (see the module docstring of repro.analysis.cli)
+# ----------------------------------------------------------------------
+def test_missing_code_path_exits_one_with_a_diagnostic(capsys):
+    assert main(["--code", "/no/such/path"]) == 1
+    out = capsys.readouterr().out
+    assert "L307" in out
+    assert "/no/such/path" in out
+    assert "no such file or directory" in out
+    assert out.strip().endswith("FAIL")
+
+
+def test_python_free_code_path_exits_one(tmp_path, capsys):
+    (tmp_path / "notes.txt").write_text("nothing to lint here\n")
+    assert main(["--code", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "L308" in out
+    assert out.strip().endswith("FAIL")
+
+
+def test_unknown_strategy_is_a_usage_error():
+    with pytest.raises(SystemExit) as exc:
+        main(["--plan", "--scenario", "1", "--strategy", "wishful-thinking"])
+    assert exc.value.code == 2
+
+
+def test_unknown_scenario_is_a_usage_error():
+    with pytest.raises(SystemExit) as exc:
+        main(["--plan", "--scenario", "99"])
+    assert exc.value.code == 2
+
+
+def test_flow_pass_exits_zero_on_the_paper_scenario(capsys):
+    code = main(["--flow", "--scenario", "1", "--strategy", "stream-sharing"])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "flow analysis: scenario 1" in out
+    assert out.strip().endswith("OK")
+
+
+def test_shards_pass_prints_a_parseable_plan(capsys, tmp_path):
+    out_file = tmp_path / "plan.json"
+    code = main(
+        [
+            "--shards",
+            "--scenario",
+            "grid",
+            "--strategy",
+            "stream-sharing",
+            "--shard-plan-out",
+            str(out_file),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    plan_lines = [l for l in out.splitlines() if l.startswith("SHARD-PLAN ")]
+    assert len(plan_lines) == 1
+    _tag, scenario, strategy, payload = plan_lines[0].split(" ", 3)
+    assert (scenario, strategy) == ("grid", "stream-sharing")
+    plan = json.loads(payload)
+    assert plan["certified"]
+    assert len(plan["shards"]) >= 2  # the acceptance bar
+    # --shard-plan-out wrote the same certificate to disk.
+    assert json.loads(out_file.read_text()) == plan
+
+
+def test_churn_pass_revalidates_certificates(capsys):
+    code = main(["--churn", "--strategy", "stream-sharing", "--quiet"])
+    out = capsys.readouterr().out
+    assert code == 0, out
     assert out.strip() == "OK"

@@ -152,6 +152,38 @@ def test_module_level_process_function_is_fine():
 
 
 # ----------------------------------------------------------------------
+# L310 — nondeterministic set iteration
+# ----------------------------------------------------------------------
+def test_for_loop_over_set_arithmetic_fires():
+    assert codes("for x in set(a) - set(b):\n    emit(x)\n") == ["L310"]
+
+
+def test_comprehension_over_set_literal_fires():
+    assert codes("out = [f(x) for x in {1, 2, 3}]\n") == ["L310"]
+
+
+def test_order_sensitive_sinks_fire():
+    assert codes("text = ', '.join(set(names))\n") == ["L310"]
+    assert codes("items = list(frozenset(rows))\n") == ["L310"]
+    assert codes("pairs = enumerate(left | right | set(extra))\n") == ["L310"]
+
+
+def test_set_algebra_methods_fire():
+    assert codes("for x in set(a).union(set(b)):\n    emit(x)\n") == ["L310"]
+
+
+def test_sorted_set_iteration_is_fine():
+    assert codes("for x in sorted(set(a) - set(b)):\n    emit(x)\n") == []
+    assert codes("text = ', '.join(sorted({x for x in rows}))\n") == []
+
+
+def test_membership_and_dict_iteration_are_fine():
+    assert codes("ok = x in set(a) - set(b)\n") == []  # no iteration order
+    assert codes("for k in mapping:\n    emit(k)\n") == []  # dicts are ordered
+    assert codes("for x in [1, 2]:\n    emit(x)\n") == []
+
+
+# ----------------------------------------------------------------------
 # The whole tree is clean
 # ----------------------------------------------------------------------
 def test_src_repro_is_lint_clean():

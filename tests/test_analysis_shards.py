@@ -1,0 +1,324 @@
+"""The S5xx shard certifier: effect lattice, partition, certificates."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from tests.conftest import PAPER_QUERIES, make_system
+from repro.analysis import (
+    KEYED_STATE,
+    ORDER_SENSITIVE,
+    STATELESS,
+    AnalysisReport,
+    certify_shards,
+    operator_effect,
+    stream_effect,
+)
+from repro.analysis.preflight import build_churned_system, build_shard_plan
+from repro.network.topology import Network
+from repro.predicates import PredicateGraph
+from repro.properties import (
+    AggregationSpec,
+    ProjectionSpec,
+    RestructureSpec,
+    SelectionSpec,
+    UdfSpec,
+    WindowSpec,
+)
+from repro.sharing import StreamGlobe
+from repro.sharing.plan import InstalledStream
+from repro.workload.photons import PhotonGenerator, PhotonStreamConfig
+from repro.workload.scenarios import scenario_churn, scenario_grid, scenario_one
+from repro.xmlkit import Path
+
+EN = Path("photons/photon/en")
+DET_TIME = Path("photons/photon/det_time")
+
+TWO_STREAM_QUERY = """
+<pair>{ for $p in stream("left")/photons/photon
+        for $q in stream("right")/photons/photon
+        return <both> { $p/en } { $q/en } </both> }</pair>
+"""
+
+
+def _aggregation(window):
+    return AggregationSpec(
+        function="avg",
+        aggregated_path=EN,
+        window=window,
+        pre_selection=PredicateGraph(),
+        result_filter=PredicateGraph(),
+    )
+
+
+# ----------------------------------------------------------------------
+# The effect lattice
+# ----------------------------------------------------------------------
+def test_per_item_operators_are_stateless(catalog):
+    assert operator_effect(SelectionSpec(PredicateGraph()), catalog, "photons") == STATELESS
+    projection = ProjectionSpec(
+        output_elements=frozenset({EN}), referenced_elements=frozenset({EN})
+    )
+    assert operator_effect(projection, catalog, "photons") == STATELESS
+    assert operator_effect(RestructureSpec("Q1"), catalog, "photons") == STATELESS
+
+
+def test_count_windows_are_keyed_state(catalog):
+    window = WindowSpec("count", Fraction(10), Fraction(10))
+    assert operator_effect(_aggregation(window), catalog, "photons") == KEYED_STATE
+
+
+def test_certified_diff_window_is_keyed_state(catalog):
+    # The catalog certifies det_time as nondecreasing, so the window's
+    # reorder buffering is provably segmentation-independent.
+    assert catalog.for_stream("photons").is_nondecreasing(DET_TIME)
+    window = WindowSpec("diff", Fraction(20), Fraction(10), reference=DET_TIME)
+    assert operator_effect(_aggregation(window), catalog, "photons") == KEYED_STATE
+
+
+def test_uncertified_diff_window_is_order_sensitive(catalog):
+    window = WindowSpec("diff", Fraction(20), Fraction(10), reference=DET_TIME)
+    # No catalog: the reference ordering cannot be certified.
+    assert operator_effect(_aggregation(window), None, "photons") == ORDER_SENSITIVE
+    # Non-monotone reference (photon energies are random).
+    jitter = WindowSpec("diff", Fraction(20), Fraction(10), reference=EN)
+    assert operator_effect(_aggregation(jitter), catalog, "photons") == ORDER_SENSITIVE
+
+
+def test_udf_is_order_sensitive(catalog):
+    assert operator_effect(UdfSpec(name="calibrate"), catalog, "photons") == ORDER_SENSITIVE
+
+
+@dataclass(frozen=True)
+class _TeleportSpec:
+    """An operator kind the certifier has never heard of."""
+
+    kind: str = field(default="teleport", init=False)
+
+
+def test_unknown_kind_reports_s501(catalog):
+    assert operator_effect(_TeleportSpec(), catalog, "photons") is None
+    system = make_system()
+    parent = system.deployment.streams["photons"]
+    stream = InstalledStream(
+        stream_id="weird",
+        content=parent.content,
+        origin_node=parent.origin_node,
+        route=parent.route,
+        parent_id="photons",
+        pipeline=(_TeleportSpec(),),
+        query="QX",
+    )
+    report = AnalysisReport()
+    assert stream_effect(stream, catalog, report) == ORDER_SENSITIVE
+    (diag,) = report.diagnostics
+    assert diag.code == "S501" and diag.severity == "error"
+    # An unclassifiable plan must never certify.
+    system.deployment.install_stream(stream)
+    plan, shard_report = certify_shards(system.deployment, system.catalog)
+    assert "S501" in shard_report.codes()
+    assert not plan.certified
+    assert not json.loads(plan.to_json())["certified"]
+
+
+# ----------------------------------------------------------------------
+# The certified partition
+# ----------------------------------------------------------------------
+def test_grid_scenario_certifies_multiple_shards():
+    scenario = scenario_grid(rows=3, cols=3, query_count=24)
+    plan, report = build_shard_plan(scenario, "stream-sharing")
+    assert report.ok, report.render()
+    assert plan.certified
+    assert plan.shard_count >= 2  # the acceptance bar: real parallelism
+    # The shards partition the live super-peers exactly.
+    seen = [node for shard in plan.shards for node in shard.nodes]
+    assert sorted(seen) == sorted(set(seen))
+    for shard in plan.shards:
+        assert plan.shard_of(shard.nodes[0]) == shard.shard_id
+    assert plan.shard_of("no-such-node") is None
+
+
+def test_paper_scenario_partition_is_deterministic():
+    scenario = scenario_one()
+    first, _ = build_shard_plan(scenario, "stream-sharing")
+    second, _ = build_shard_plan(scenario_one(), "stream-sharing")
+    assert first.to_json() == second.to_json()
+
+
+def test_shard_plan_json_schema():
+    plan, _ = build_shard_plan(scenario_grid(rows=3, cols=3, query_count=24), "stream-sharing")
+    data = json.loads(plan.to_json())
+    assert data["version"] == 1
+    assert data["network_version"] == plan.network_version
+    assert set(data) == {
+        "version",
+        "network_version",
+        "certified",
+        "shards",
+        "cut_edges",
+        "blocked_edges",
+        "epoch_lag",
+    }
+    for shard in data["shards"]:
+        assert set(shard) == {"id", "nodes", "streams", "queries"}
+    for edge in data["cut_edges"]:
+        assert set(edge) == {"link", "from_shard", "to_shard", "streams", "effect"}
+        assert edge["effect"] in (STATELESS, KEYED_STATE, ORDER_SENSITIVE)
+        assert edge["from_shard"] != edge["to_shard"]
+    # Every query has a lag; no cut on a path means lag 0.
+    assert set(data["epoch_lag"]) == set(q for s in data["shards"] for q in s["queries"])
+    assert all(lag >= 0 for lag in data["epoch_lag"].values())
+
+
+def test_cut_edges_connect_distinct_shards():
+    plan, _ = build_shard_plan(scenario_grid(rows=3, cols=3, query_count=24), "stream-sharing")
+    assert plan.cut_edges  # a 3×3 grid with local queries always cuts
+    for edge in plan.cut_edges:
+        assert plan.shard_of(edge.link[0]) == edge.from_shard
+        assert plan.shard_of(edge.link[1]) == edge.to_shard
+        assert edge.from_shard != edge.to_shard
+
+
+# ----------------------------------------------------------------------
+# S510 — order-sensitive consumers pin their feed path
+# ----------------------------------------------------------------------
+def test_s510_udf_pins_its_feed_path():
+    system = make_system()
+    system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+    delivered_id = system.deployment.queries["Q1"].delivered[0][1]
+    route = system.deployment.streams[delivered_id].route
+    assert len(route) >= 2  # the delivered stream crosses links
+    # Tap the delivered stream at the far end of its route: the whole
+    # multi-hop feed now ends in an order-sensitive (UDF) pipeline.
+    system.install_derived_stream(
+        "Q1:udf", delivered_id, [UdfSpec(name="calibrate")],
+        target=route[-1], tap_node=route[-1],
+    )
+    plan, report = certify_shards(system.deployment, system.catalog)
+    s510 = [d for d in report.diagnostics if d.code == "S510"]
+    assert s510, report.render()
+    assert all(d.severity == "warning" for d in s510)
+    assert plan.certified  # blocked edges coarsen the plan, not fail it
+    blocked = [e for e in plan.blocked_edges if e.code == "S510"]
+    assert {e.link for e in blocked} == set(
+        tuple(sorted(pair)) for pair in zip(route, route[1:])
+    )
+    # Blocked edges were honoured: both endpoints share a shard.
+    for edge in blocked:
+        assert plan.shard_of(edge.link[0]) == plan.shard_of(edge.link[1])
+
+
+def test_stateless_pipelines_do_not_block():
+    system = make_system()
+    system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+    plan, report = certify_shards(system.deployment, system.catalog)
+    assert report.ok and not report.diagnostics, report.render()
+    assert plan.blocked_edges == ()
+
+
+# ----------------------------------------------------------------------
+# S511 — multi-input subscriptions need uniform epoch lag
+# ----------------------------------------------------------------------
+def _two_stream_system():
+    net = Network()
+    for name in ("SPL", "SPM", "SPR"):
+        net.add_super_peer(name)
+    net.add_link("SPL", "SPM")
+    net.add_link("SPM", "SPR")
+    net.add_thin_peer("L", "SPL")
+    net.add_thin_peer("R", "SPR")
+    net.add_thin_peer("U", "SPM")
+    system = StreamGlobe(net, strategy="stream-sharing")
+    for name, seed, peer in [("left", 1, "L"), ("right", 2, "R")]:
+        config = PhotonStreamConfig(seed=seed, frequency=40.0)
+        system.register_stream(
+            name, "photons/photon",
+            (lambda cfg: (lambda: PhotonGenerator(cfg)))(config),
+            frequency=40.0, source_peer=peer,
+        )
+    return system
+
+
+def test_s511_multi_input_subscription_pins_both_inputs():
+    system = _two_stream_system()
+    result = system.register_query("pair", TWO_STREAM_QUERY, "U")
+    assert result.accepted and len(result.plan.inputs) == 2
+    plan, report = certify_shards(system.deployment, system.catalog)
+    s511 = [d for d in report.diagnostics if d.code == "S511"]
+    assert s511, report.render()
+    assert all(d.severity == "warning" for d in s511)
+    assert plan.certified
+    # The combiner pairs r-th items: everything collapses to one shard.
+    assert plan.shard_count == 1
+    assert plan.cut_edges == ()
+    assert {e.code for e in plan.blocked_edges} == {"S511"}
+    assert dict(plan.epoch_lag) == {"pair": 0}
+
+
+def test_single_input_queries_cut_freely():
+    system = _two_stream_system()
+    single = '<r>{ for $p in stream("left")/photons/photon return $p/en }</r>'
+    system.register_query("solo", single, "U")
+    plan, report = certify_shards(system.deployment, system.catalog)
+    assert "S511" not in report.codes()
+    # The unused right source's island may split off.
+    assert plan.shard_count >= 2
+
+
+# ----------------------------------------------------------------------
+# Certificates through churn and the system facade
+# ----------------------------------------------------------------------
+def test_certificates_revalidate_through_churn():
+    reports = build_churned_system(
+        scenario_churn(), "stream-sharing", passes=("shards",)
+    )
+    assert reports  # one report per fault event
+    for report in reports:
+        assert report.ok, report.render()
+
+
+def test_churn_runs_every_requested_pass():
+    reports = build_churned_system(
+        scenario_churn(), "stream-sharing", passes=("plan", "flow", "shards")
+    )
+    for report in reports:
+        assert report.ok, report.render()
+
+
+def test_shard_plan_facade_caches_per_plan_state():
+    system = make_system()
+    system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+    plan = system.shard_plan()
+    assert plan.network_version == system.net.version
+    assert system.shard_plan() is plan  # cached: same certificate object
+    system.register_query("Q2", PAPER_QUERIES["Q2"], "P2")
+    fresh = system.shard_plan()
+    assert fresh is not plan  # a plan mutation invalidates the cache
+    assert system.shard_plan() is fresh
+
+
+def test_verify_flag_runs_the_certifier():
+    # An unclassifiable operator must abort the registration pre-flight.
+    import pytest
+
+    from repro.analysis import InvariantViolation
+
+    system = make_system(verify=True)
+    system.register_query("Q1", PAPER_QUERIES["Q1"], "P1")
+    parent = system.deployment.streams["photons"]
+    system.deployment.install_stream(
+        InstalledStream(
+            stream_id="weird",
+            content=parent.content,
+            origin_node=parent.origin_node,
+            route=parent.route,
+            parent_id="photons",
+            pipeline=(_TeleportSpec(),),
+            query="Q1",
+        )
+    )
+    with pytest.raises(InvariantViolation) as exc:
+        system.register_query("Q2", PAPER_QUERIES["Q2"], "P2")
+    assert "S501" in exc.value.report.codes()

@@ -406,6 +406,58 @@ def test_reaggregation_function_compatibility(photon_stats):
     assert "T215" in [d.code for d in diags]
 
 
+def test_empty_operator_chain_is_trivially_typed(photon_stats):
+    view = SchemaView.from_statistics(photon_stats)
+    content = StreamProperties(stream="photons", item_path=Path("photons/photon"))
+    assert check_content(content, view, "stream 'raw'") == []
+
+
+def test_aggregation_after_window_contents_is_accepted(photon_stats):
+    # A window-contents stage re-emits the (selected, projected) items
+    # in batches — the item schema survives, so a downstream aggregation
+    # still types.  The converse order is rejected as T213.
+    from repro.predicates import PredicateGraph
+    from repro.properties import AggregationSpec
+
+    view = SchemaView.from_statistics(photon_stats)
+    window = WindowSpec(
+        "diff", Fraction(20), Fraction(10), reference=Path("photons/photon/det_time")
+    )
+    aggregation = AggregationSpec(
+        function="avg",
+        aggregated_path=Path("photons/photon/en"),
+        window=window,
+        pre_selection=PredicateGraph(),
+        result_filter=PredicateGraph(),
+    )
+    accepted = StreamProperties(
+        stream="photons",
+        item_path=Path("photons/photon"),
+        operators=(WindowContentsSpec(window=window), aggregation),
+    )
+    assert check_content(accepted, view, "s") == []
+    rejected = StreamProperties(
+        stream="photons",
+        item_path=Path("photons/photon"),
+        operators=(aggregation, WindowContentsSpec(window=window)),
+    )
+    assert [d.code for d in check_content(rejected, view, "s")] == ["T213"]
+
+
+def test_restructure_only_chain_is_rejected(photon_stats):
+    from repro.properties import RestructureSpec
+
+    view = SchemaView.from_statistics(photon_stats)
+    content = StreamProperties(
+        stream="photons",
+        item_path=Path("photons/photon"),
+        operators=(RestructureSpec("Q1"),),
+    )
+    diags = check_content(content, view, "stream 'post'")
+    assert [d.code for d in diags] == ["T217"]
+    assert "never reused" in diags[0].hint
+
+
 # ----------------------------------------------------------------------
 # The pre-flight hook
 # ----------------------------------------------------------------------

@@ -1,0 +1,80 @@
+"""Property test: flow-analysis bounds contain measured stream counts.
+
+The F4xx abstract interpreter promises (see ``repro.analysis.flow``)
+that over any run of virtual duration ``D``, every stream with derived
+:class:`~repro.analysis.FlowFacts` produces a number of items inside
+``count_bounds(D)``.  This test checks that soundness claim against the
+ground truth: :meth:`StreamSimulator.stream_counts` measured on the
+paper's benchmark scenarios (1, 2, and the grid).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import derive_stream_facts
+from repro.engine import StreamSimulator
+from repro.workload.scenarios import scenario_grid, scenario_one, scenario_two
+
+_SYSTEMS = {}
+
+
+def _system(key):
+    """Scenario systems are expensive; register each workload once."""
+    if key not in _SYSTEMS:
+        from repro.sharing import StreamGlobe
+
+        scenario = {
+            "1": scenario_one,
+            "2": scenario_two,
+            "grid": lambda: scenario_grid(rows=3, cols=3, query_count=12),
+        }[key]()
+        system = StreamGlobe(scenario.build_network(), strategy="stream-sharing")
+        for source in scenario.sources:
+            system.register_stream(
+                source.name,
+                "photons/photon",
+                source.generator_factory(),
+                frequency=source.frequency,
+                source_peer=source.source_peer,
+            )
+        for spec in scenario.queries:
+            system.register_query(spec.name, spec.text, spec.subscriber_peer)
+        _SYSTEMS[key] = (system, derive_stream_facts(system.deployment, system.catalog))
+    return _SYSTEMS[key]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    key=st.sampled_from(["1", "2", "grid"]),
+    duration=st.floats(min_value=0.25, max_value=6.0, allow_nan=False),
+)
+def test_measured_counts_fall_inside_derived_bounds(key, duration):
+    system, facts = _system(key)
+    # Facts cover every installed stream of these scenarios.
+    assert set(facts) == set(system.deployment.streams)
+    generators = {
+        name: source.generator_factory() for name, source in system.sources.items()
+    }
+    simulator = StreamSimulator(system.net, system.deployment, generators, duration)
+    simulator.run()
+    counts = simulator.stream_counts()
+    for stream_id, measured in counts.items():
+        lo, hi = facts[stream_id].count_bounds(duration)
+        assert lo <= measured <= hi, (
+            f"{key}: stream {stream_id} produced {measured} items over "
+            f"{duration:.3f}s, outside [{lo}, {hi}]"
+        )
+
+
+def test_stream_counts_requires_a_run():
+    from repro.engine.executor import ExecutionError
+
+    system, _ = _system("1")
+    generators = {
+        name: source.generator_factory() for name, source in system.sources.items()
+    }
+    simulator = StreamSimulator(system.net, system.deployment, generators, 1.0)
+    with pytest.raises(ExecutionError):
+        simulator.stream_counts()
