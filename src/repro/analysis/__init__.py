@@ -42,10 +42,12 @@ from .shards import (
     STATELESS,
     BlockedEdge,
     CutEdge,
+    RuntimePartition,
     Shard,
     ShardPlan,
     certify_shards,
     operator_effect,
+    partition_for_workers,
     stream_effect,
 )
 from .typecheck import SchemaView, check_content, check_pipeline
@@ -60,6 +62,7 @@ __all__ = [
     "InvariantViolation",
     "KEYED_STATE",
     "ORDER_SENSITIVE",
+    "RuntimePartition",
     "STATELESS",
     "SchemaView",
     "Shard",
@@ -78,6 +81,7 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "operator_effect",
+    "partition_for_workers",
     "stream_effect",
     "verify_deployment",
     "verify_system",

@@ -25,11 +25,14 @@ not know or is not strict enough about:
 * ``L310`` **unordered-iteration** — iterating a syntactic ``set``
   expression (``set(...)``/``frozenset(...)`` calls, set
   literals/comprehensions, set algebra like ``set(a) - set(b)``) in a
-  ``for`` loop, comprehension, or an order-sensitive sink
-  (``list``/``tuple``/``enumerate``/``str.join``).  Set iteration
+  ``for`` loop, comprehension, an order-sensitive sink
+  (``list``/``tuple``/``enumerate``/``str.join``), or a
+  serialization boundary (``.dumps``/``.dump``/``.send``/``.put``/
+  ``.send_bytes`` — pickle and worker-pipe traffic).  Set iteration
   order is hash-order, so anything derived from it — diagnostics,
-  plans, teardown order — silently varies across processes; the shard
-  certifier's determinism guarantees assume it never happens.  Wrap
+  plans, teardown order, bytes crossing a process boundary — silently
+  varies across processes; the shard certifier's and the sharded
+  executor's determinism guarantees assume it never happens.  Wrap
   in ``sorted(...)`` to fix the order.  (Dicts are insertion-ordered
   in modern Python and are not flagged.)
 
@@ -52,6 +55,9 @@ _MUTABLE_CONSTRUCTORS = ("list", "dict", "set")
 _INIT_METHODS = ("__init__", "__post_init__", "__new__", "__setattr__", "__setstate__")
 _OPERATOR_METHODS = ("process", "flush")
 _ORDER_SENSITIVE_SINKS = ("list", "tuple", "enumerate")
+#: Attribute calls whose payload crosses a process/wire boundary: the
+#: serialized bytes bake in whatever order the payload iterates in.
+_SERIALIZATION_SINKS = ("dumps", "dump", "send", "put", "send_bytes")
 _SET_ALGEBRA_METHODS = (
     "union",
     "intersection",
@@ -273,18 +279,30 @@ class _LintVisitor(ast.NodeVisitor):
                 "by identity; build a new instance instead",
             )
         sink = None
+        serializing = False
         if isinstance(func, ast.Name) and func.id in _ORDER_SENSITIVE_SINKS:
             sink = func.id
         elif isinstance(func, ast.Attribute) and func.attr == "join":
             sink = "join"
-        if sink is not None and node.args and self._is_set_expr(node.args[0]):
-            self._report(
-                "L310",
-                node.args[0],
-                f"{sink}() materializes a set expression in hash order",
-                hint="wrap the set expression in sorted(...) so the "
-                "resulting order is deterministic",
-            )
+        elif isinstance(func, ast.Attribute) and func.attr in _SERIALIZATION_SINKS:
+            sink = func.attr
+            serializing = True
+        if sink is not None:
+            args = node.args if serializing else node.args[:1]
+            for arg in args:
+                if self._is_set_expr(arg):
+                    message = (
+                        f"{sink}() serializes a set expression in hash order"
+                        if serializing
+                        else f"{sink}() materializes a set expression in hash order"
+                    )
+                    self._report(
+                        "L310",
+                        arg,
+                        message,
+                        hint="wrap the set expression in sorted(...) so the "
+                        "resulting order is deterministic",
+                    )
         self.generic_visit(node)
 
     # ------------------------------------------------------------------

@@ -81,11 +81,14 @@ __all__ = [
     "CutEdge",
     "KEYED_STATE",
     "ORDER_SENSITIVE",
+    "RuntimePartition",
     "STATELESS",
     "Shard",
     "ShardPlan",
     "certify_shards",
     "operator_effect",
+    "partition_for_workers",
+    "shard_weights",
     "stream_effect",
 ]
 
@@ -268,6 +271,170 @@ class ShardPlan:
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ShardPlan":
+        """Inverse of :meth:`to_dict` (``from_dict(to_dict(p)) == p``)."""
+        if data.get("version") != 1:
+            raise ValueError(f"unsupported ShardPlan version {data.get('version')!r}")
+        shards = tuple(
+            Shard(
+                shard_id=entry["id"],
+                nodes=tuple(entry["nodes"]),
+                streams=tuple(entry["streams"]),
+                queries=tuple(entry["queries"]),
+            )
+            for entry in data["shards"]
+        )
+        cut_edges = tuple(
+            CutEdge(
+                link=(entry["link"][0], entry["link"][1]),
+                from_shard=entry["from_shard"],
+                to_shard=entry["to_shard"],
+                streams=tuple(entry["streams"]),
+                effect=entry["effect"],
+            )
+            for entry in data["cut_edges"]
+        )
+        blocked_edges = tuple(
+            BlockedEdge(
+                link=(entry["link"][0], entry["link"][1]),
+                code=entry["code"],
+                streams=tuple(entry["streams"]),
+                reason=entry["reason"],
+            )
+            for entry in data["blocked_edges"]
+        )
+        # ``to_dict`` stores lags as a mapping; the plan builds the tuple
+        # over sorted query names, so sorted items reproduce it exactly.
+        epoch_lag = tuple(sorted(data["epoch_lag"].items()))
+        return cls(
+            network_version=data["network_version"],
+            shards=shards,
+            cut_edges=cut_edges,
+            blocked_edges=blocked_edges,
+            epoch_lag=epoch_lag,
+            certified=data["certified"],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ShardPlan":
+        return cls.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Plan → runtime partition adapter
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RuntimePartition:
+    """A certified :class:`ShardPlan` coarsened to a worker count.
+
+    Coarsening certified shards is always safe (merging never violates
+    S510/S511), so the adapter is free to pack the finest certified
+    shards into ``cells`` — one cell per executor worker.  ``cells[i]``
+    lists the shard ids worker ``i`` runs; ``node_cell`` maps every
+    super-peer to its worker.
+    """
+
+    plan: ShardPlan
+    cells: Tuple[Tuple[int, ...], ...]
+    node_cell: Tuple[Tuple[str, int], ...]
+
+    @property
+    def cell_count(self) -> int:
+        return len(self.cells)
+
+    def as_mapping(self) -> Dict[str, int]:
+        return dict(self.node_cell)
+
+    def query_lags(self, deployment: Deployment) -> Dict[str, int]:
+        """Per-query delivery lag (in epochs) at *cell* granularity.
+
+        Coarsening can only remove crossings, so every lag is bounded by
+        the certified plan's ``epoch_lag`` for the same query.
+        """
+        cell_of = self.as_mapping()
+        streams = deployment.streams
+        lags: Dict[str, int] = {}
+        for query_name in sorted(deployment.queries):
+            record = deployment.queries[query_name]
+            worst = 0
+            for _, delivered_id in sorted(record.delivered):
+                delivered = streams.get(delivered_id)
+                if delivered is None:
+                    continue
+                path = _lineage_edges(streams, delivered) + _route_edges(delivered)
+                crossings = sum(
+                    1
+                    for a, b, _carrier in path
+                    if cell_of.get(a) is not None
+                    and cell_of.get(b) is not None
+                    and cell_of[a] != cell_of[b]
+                )
+                worst = max(worst, crossings)
+            lags[query_name] = worst
+        return lags
+
+
+def shard_weights(plan: ShardPlan, deployment: Deployment) -> Dict[int, int]:
+    """Deterministic load estimate per shard: one unit per stream plus
+    one per pipeline stage plus one per subscription — a proxy for the
+    pump work a worker running that shard will do."""
+    weights: Dict[int, int] = {}
+    streams = deployment.streams
+    for shard in plan.shards:
+        weight = 0
+        for stream_id in shard.streams:
+            stream = streams.get(stream_id)
+            if stream is None:
+                continue
+            weight += 1 + len(stream.pipeline)
+        weight += len(shard.queries)
+        weights[shard.shard_id] = weight
+    return weights
+
+
+def partition_for_workers(
+    plan: ShardPlan, deployment: Deployment, workers: int
+) -> RuntimePartition:
+    """Pack the certified shards into at most ``workers`` cells.
+
+    Greedy LPT: shards in decreasing weight order (ties by shard id) go
+    to the currently lightest cell (ties by lowest cell index) — fully
+    deterministic, so every run of the parallel executor partitions the
+    same way.  Requires ``plan.certified``; coarsening a certified plan
+    is always safe, refining is not.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if not plan.certified:
+        raise ValueError("cannot partition from an uncertified ShardPlan")
+    weights = shard_weights(plan, deployment)
+    cell_total = min(workers, len(plan.shards)) or 1
+    loads = [0] * cell_total
+    members: List[List[int]] = [[] for _ in range(cell_total)]
+    ordered = sorted(
+        plan.shards, key=lambda shard: (-weights[shard.shard_id], shard.shard_id)
+    )
+    for shard in ordered:
+        target = min(range(cell_total), key=lambda index: (loads[index], index))
+        loads[target] += weights[shard.shard_id]
+        members[target].append(shard.shard_id)
+    # Renumber cells by their smallest shard id so the cell order is
+    # independent of the packing history.
+    occupied = sorted(
+        (cell for cell in members if cell), key=lambda cell: min(cell)
+    )
+    cells = tuple(tuple(sorted(cell)) for cell in occupied)
+    shard_cell = {
+        shard_id: index for index, cell in enumerate(cells) for shard_id in cell
+    }
+    node_cell = tuple(
+        (node, shard_cell[shard.shard_id])
+        for shard in plan.shards
+        for node in shard.nodes
+    )
+    return RuntimePartition(plan=plan, cells=cells, node_cell=node_cell)
 
 
 # ----------------------------------------------------------------------

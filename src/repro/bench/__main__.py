@@ -8,6 +8,9 @@ Usage::
     python -m repro.bench rejection   # the constrained-capacity study
     python -m repro.bench caches      # cache hit rates + planner phases
     python -m repro.bench all
+    python -m repro.bench fig7 --workers 4
+        # executing experiments on the sharded executor (byte-identical
+        # metrics; see python -m repro.bench.parallel for the sweep)
 """
 
 from __future__ import annotations
@@ -37,10 +40,10 @@ def _run_all_strategies(scenario, **kwargs) -> Dict[str, ScenarioRun]:
     }
 
 
-def cmd_fig6() -> None:
+def cmd_fig6(workers=None) -> None:
     print("=== Figure 6: extended example scenario "
           "(8 super-peers, 1 data stream, 25 queries) ===\n")
-    runs = _run_all_strategies(scenario_one())
+    runs = _run_all_strategies(scenario_one(), workers=workers)
     print(cpu_report(runs))
     print()
     print(traffic_report(runs))
@@ -49,10 +52,10 @@ def cmd_fig6() -> None:
     print(f"Total backbone traffic (MBit): {totals}")
 
 
-def cmd_fig7() -> None:
+def cmd_fig7(workers=None) -> None:
     print("=== Figure 7: 4x4 grid scenario "
           "(16 super-peers, 2 data streams, 100 queries) ===\n")
-    runs = _run_all_strategies(scenario_two())
+    runs = _run_all_strategies(scenario_two(), workers=workers)
     print(cpu_report(runs))
     print()
     print(accumulated_traffic_report(runs))
@@ -61,7 +64,7 @@ def cmd_fig7() -> None:
     print(f"Total backbone traffic (MBit): {totals}")
 
 
-def cmd_table1() -> None:
+def cmd_table1(workers=None) -> None:
     print("=== Table 1: query registration times ===\n")
     scenario_runs = {
         "1": _run_all_strategies(scenario_one(), execute=False),
@@ -70,7 +73,7 @@ def cmd_table1() -> None:
     print(registration_table(scenario_runs))
 
 
-def cmd_rejection() -> None:
+def cmd_rejection(workers=None) -> None:
     print("=== Rejection experiment: scenario 2 with peer CPU capped at "
           "10% and links at 1 MBit/s ===\n")
     runs = _run_all_strategies(
@@ -83,7 +86,7 @@ def cmd_rejection() -> None:
     print(rejection_report(runs))
 
 
-def cmd_caches() -> None:
+def cmd_caches(workers=None) -> None:
     from ..obs import Recorder
 
     print("=== Control-plane caches and planner phases "
@@ -114,14 +117,22 @@ def main(argv=None) -> int:
         description="Regenerate the evaluation artifacts of 'Data Stream Sharing' (EDBT 2006).",
     )
     parser.add_argument("experiment", choices=[*COMMANDS, "all"])
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="execute on the sharded executor with N worker cells "
+        "(results are byte-identical to the sequential executor)",
+    )
     args = parser.parse_args(argv)
     if args.experiment == "all":
         for index, command in enumerate(COMMANDS.values()):
             if index:
                 print("\n")
-            command()
+            command(workers=args.workers)
     else:
-        COMMANDS[args.experiment]()
+        COMMANDS[args.experiment](workers=args.workers)
     return 0
 
 

@@ -127,6 +127,7 @@ def run_scenario(
     execute: bool = True,
     use_index: bool = True,
     recorder=None,
+    workers: Optional[int] = None,
 ) -> ScenarioRun:
     """Register a scenario's workload under ``strategy`` and execute it.
 
@@ -137,6 +138,10 @@ def run_scenario(
     the system, capturing control-plane spans and the data-plane epoch
     series for the whole scenario (``python -m repro.obs record`` uses
     this).
+
+    ``workers`` — execute on the sharded executor with this many worker
+    cells (metrics stay byte-identical to the sequential executor; see
+    :class:`~repro.engine.parallel.ShardedSimulator`).
     """
     net = scenario.build_network()
     if not math.isclose(capacity_factor, 1.0) or link_bandwidth is not None:
@@ -167,7 +172,9 @@ def run_scenario(
         for spec in scenario.queries
     ]
     metrics = (
-        system.run(scenario.duration, faults=scenario.faults) if execute else None
+        system.run(scenario.duration, faults=scenario.faults, workers=workers)
+        if execute
+        else None
     )
     return ScenarioRun(
         scenario=scenario.name,

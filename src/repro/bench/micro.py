@@ -61,16 +61,38 @@ SCENARIOS: Dict[str, Callable[[], Scenario]] = {
 
 
 def _measure(
-    simulator_cls, system, duration: float, repeats: int
-) -> Dict[str, float]:
-    """Best-of-``repeats`` execution of one executor on one deployment."""
-    best: Optional[Dict[str, float]] = None
+    simulator_cls, system, duration: float, repeats: int, workers: int = 0
+) -> Dict[str, Any]:
+    """Best-of-``repeats`` execution of one executor on one deployment.
+
+    ``workers > 1`` measures the sharded executor
+    (:class:`~repro.engine.parallel.ShardedSimulator`) instead; its
+    sample reports ``peak_live_items`` as the *maximum* over shard
+    cells — each cell holds its own in-flight window, so summing them
+    would overstate any single process's live footprint — and adds the
+    per-shard breakdown under ``peak_live_items_per_shard``.
+    """
+    best: Optional[Dict[str, Any]] = None
     for _ in range(repeats):
         generators = {
             name: source.generator_factory()
             for name, source in system.sources.items()
         }
-        simulator = simulator_cls(system.net, system.deployment, generators, duration)
+        if workers > 1:
+            from ..engine.parallel import ShardedSimulator
+
+            simulator = ShardedSimulator(
+                system.net,
+                system.deployment,
+                generators,
+                duration,
+                plan=system.shard_plan(),
+                workers=workers,
+            )
+        else:
+            simulator = simulator_cls(
+                system.net, system.deployment, generators, duration
+            )
         # Collect leftovers of previous runs, then keep the collector out
         # of the timed region — generational GC passes triggered by a
         # *previous* executor's garbage would otherwise skew the sample.
@@ -83,20 +105,31 @@ def _measure(
         finally:
             gc.enable()
         items = sum(metrics.items_generated.values())
-        sample = {
+        sample: Dict[str, Any] = {
             "wall_s": round(wall, 4),
             "items": items,
             "items_per_s": round(items / wall, 1),
             "mbit": round(metrics.total_mbit(), 4),
             "peak_live_items": simulator.peak_live_items,
         }
+        if workers > 1:
+            sample["peak_live_items_per_shard"] = {
+                str(cell): peak
+                for cell, peak in sorted(
+                    simulator.peak_live_items_per_shard.items()
+                )
+            }
+            sample["mode"] = simulator.mode_used
+            sample["cells"] = simulator.workers_used
         if best is None or sample["wall_s"] < best["wall_s"]:
             best = sample
     assert best is not None
     return best
 
 
-def run_benchmark(names: List[str], repeats: int = 3) -> Dict[str, Any]:
+def run_benchmark(
+    names: List[str], repeats: int = 3, parallel_workers: int = 0
+) -> Dict[str, Any]:
     report: Dict[str, Any] = {
         "benchmark": "repro.bench.micro",
         "pre_pr": PRE_PR_BASELINE,
@@ -124,6 +157,14 @@ def run_benchmark(names: List[str], repeats: int = 3) -> Dict[str, Any]:
             "materializing": materializing,
             "streaming_half_duration_peak": half["peak_live_items"],
         }
+        if parallel_workers > 1:
+            entry["streaming_parallel"] = _measure(
+                StreamSimulator,
+                system,
+                scenario.duration,
+                repeats,
+                workers=parallel_workers,
+            )
         pre = PRE_PR_BASELINE.get(name)
         if pre:
             entry["speedup_vs_pre_pr"] = round(
@@ -181,6 +222,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--repeats", type=int, default=3, help="timing repeats (best-of)"
     )
     parser.add_argument(
+        "--parallel-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also measure the sharded executor with N worker cells "
+        "(reports peak live items per shard, not summed)",
+    )
+    parser.add_argument(
         "--check",
         metavar="BASELINE",
         help="compare against a committed baseline report; exit 1 on "
@@ -195,7 +244,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     options = parser.parse_args(argv)
 
     names = list(SCENARIOS) if options.scenario == "all" else [options.scenario]
-    report = run_benchmark(names, repeats=options.repeats)
+    report = run_benchmark(
+        names,
+        repeats=options.repeats,
+        parallel_workers=options.parallel_workers,
+    )
     with open(options.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -208,6 +261,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"materializing {materializing['items_per_s']:.1f} items/s "
             f"(peak {materializing['peak_live_items']})"
         )
+        parallel = entry.get("streaming_parallel")
+        if parallel:
+            shards = ", ".join(
+                f"{cell}:{peak}"
+                for cell, peak in parallel["peak_live_items_per_shard"].items()
+            )
+            print(
+                f"{name}: parallel[{parallel['cells']}x{parallel['mode']}] "
+                f"{parallel['items_per_s']:.1f} items/s "
+                f"(peak per shard {shards})"
+            )
     print(f"report written to {options.out}")
     if options.check:
         return check_regression(report, options.check, options.tolerance)

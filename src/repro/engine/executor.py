@@ -67,6 +67,12 @@ if TYPE_CHECKING:  # avoid a runtime cycle with repro.sharing
     from ..sharing.plan import Deployment, InstalledStream, RegisteredQuery
 from ..obs.recorder import NULL_RECORDER
 from ..obs.timeseries import snapshot_delta
+from .accounting import (
+    DeliveryCounters,
+    RetiredSnapshot,
+    StreamCounters,
+    replay_metrics,
+)
 from .fanout import PrefixStage, PrefixTree, _Gauge, group_pipelines
 from .metrics import RunMetrics
 from .pipeline import Pipeline
@@ -275,39 +281,10 @@ class _Gate:
         self.lost = 0
 
 
-class _RetiredNode:
-    """Accounting snapshot of a stream node retired by plan repair.
-
-    Shared-prefix stages keep accumulating for surviving siblings after
-    a retirement, so the retired stream's stage input counts must be
-    pinned at the moment it detaches.
-    """
-
-    __slots__ = (
-        "stream",
-        "produced_count",
-        "produced_bytes",
-        "duplicate_count",
-        "stage_counts",
-        "repair_added",
-    )
-
-    def __init__(
-        self,
-        stream: "InstalledStream",
-        produced_count: int,
-        produced_bytes: int,
-        duplicate_count: int,
-        stage_counts: List[Tuple[str, Optional[str], int]],
-        repair_added: bool,
-    ) -> None:
-        self.stream = stream
-        self.produced_count = produced_count
-        self.produced_bytes = produced_bytes
-        self.duplicate_count = duplicate_count
-        #: ``(operator kind, udf name, input count)`` per pipeline stage.
-        self.stage_counts = stage_counts
-        self.repair_added = repair_added
+#: Retired-node accounting snapshots now live in ``repro.engine
+#: .accounting`` so the sharded executor can ship them between
+#: processes; the old private name stays as an alias.
+_RetiredNode = RetiredSnapshot
 
 
 def _prune_stages(stages: List[PrefixStage]) -> None:
@@ -932,123 +909,80 @@ class StreamSimulator:
     # ------------------------------------------------------------------
     # Metrics replay
     # ------------------------------------------------------------------
-    def _account(
-        self, order: List["InstalledStream"], nodes: Dict[str, _StreamNode]
-    ) -> RunMetrics:
-        """Replay the accumulated counters into :class:`RunMetrics` in
-        the exact accumulation order of the materializing executor, so
-        fault-free runs produce floating-point-identical metrics.
-
-        Streams retired by plan repair are replayed first, from their
-        snapshots; peer and link lookups include removed topology
-        entities, since retired routes may cross a crashed peer."""
-        metrics = RunMetrics(duration=self.duration)
-        for retired in self._retired:
-            self._account_retired(retired, metrics)
-        for stream in order:
-            node = nodes[stream.stream_id]
-            peer = self.net.super_peer(stream.origin_node, include_removed=True)
-            if stream.is_original:
-                metrics.count_generated(stream.stream_id, node.produced_count)
-                ingest = base_load("ingest") * peer.pindex
-                metrics.add_peer_work(stream.origin_node, ingest * node.produced_count)
-            else:
-                assert stream.parent_id is not None
-                parent_count = (
-                    nodes[stream.parent_id].produced_count - node.duplicate_base
-                )
-                duplicate = base_load("duplicate") * peer.pindex
-                metrics.add_peer_work(stream.origin_node, duplicate * parent_count)
-                for stage in node.stage_path:
-                    udf_name = getattr(getattr(stage.operator, "spec", None), "name", None)
-                    work = (
-                        base_load(stage.operator.kind, udf_name)
-                        * peer.pindex
-                        * stage.input_count
-                    )
-                    metrics.add_peer_work(stream.origin_node, work)
-            self._account_transport(stream, node, metrics)
-        self._account_postprocess(metrics)
-        metrics.faults_applied = self._faults_applied
-        metrics.items_lost = self._source_items_lost + sum(
-            gate.lost for gate in self._gates
-        )
-        metrics.recovery_time_s = self._recovery_time_s
-        metrics.queries_repaired = self._queries_repaired
-        metrics.queries_lost = sum(
-            1 for name in self._deliveries if name not in self.deployment.queries
-        )
-        return metrics
-
-    def _account_retired(self, retired: _RetiredNode, metrics: RunMetrics) -> None:
-        stream = retired.stream
-        peer = self.net.super_peer(stream.origin_node, include_removed=True)
-        if stream.is_original:
-            metrics.count_generated(stream.stream_id, retired.produced_count)
-            ingest = base_load("ingest") * peer.pindex
-            metrics.add_peer_work(stream.origin_node, ingest * retired.produced_count)
-        else:
-            duplicate = base_load("duplicate") * peer.pindex
-            metrics.add_peer_work(
-                stream.origin_node, duplicate * retired.duplicate_count
+    @staticmethod
+    def _stage_counts(node: _StreamNode) -> List[Tuple[str, Optional[str], int]]:
+        return [
+            (
+                stage.operator.kind,
+                getattr(getattr(stage.operator, "spec", None), "name", None),
+                stage.input_count,
             )
-            for kind, udf_name, inputs in retired.stage_counts:
-                work = base_load(kind, udf_name) * peer.pindex * inputs
-                metrics.add_peer_work(stream.origin_node, work)
-        hops = stream.links()
-        if not hops or not retired.produced_count:
-            return
-        total_bits = float(retired.produced_bytes * 8)
-        for a, b in hops:
-            metrics.add_link_bits(
-                self.net.link(a, b, include_removed=True), total_bits
-            )
-        for sender, _ in hops:
-            sender_peer = self.net.super_peer(sender, include_removed=True)
-            work = base_load("transfer") * sender_peer.pindex * retired.produced_count
-            metrics.add_peer_work(sender, work)
-        if retired.repair_added:
-            metrics.rerouted_traffic_bits += total_bits * len(hops)
+            for stage in node.stage_path
+        ]
 
-    def _account_transport(
-        self, stream: "InstalledStream", node: _StreamNode, metrics: RunMetrics
-    ) -> None:
-        hops = stream.links()
-        if not hops or not node.produced_count:
-            return
-        total_bits = float(node.produced_bytes * 8)
-        for a, b in hops:
-            metrics.add_link_bits(
-                self.net.link(a, b, include_removed=True), total_bits
+    def _stream_counters(
+        self, nodes: Dict[str, _StreamNode]
+    ) -> Dict[str, StreamCounters]:
+        return {
+            stream_id: StreamCounters(
+                produced_count=node.produced_count,
+                produced_bytes=node.produced_bytes,
+                duplicate_base=node.duplicate_base,
+                stage_counts=self._stage_counts(node),
+                repair_added=node.repair_added,
             )
-        # Forwarding work: the sender side of every hop touches each item.
-        for sender, _ in hops:
-            peer = self.net.super_peer(sender, include_removed=True)
-            work = base_load("transfer") * peer.pindex * node.produced_count
-            metrics.add_peer_work(sender, work)
-        if node.repair_added:
-            metrics.rerouted_traffic_bits += total_bits * len(hops)
+            for stream_id, node in nodes.items()
+        }
 
-    def _account_postprocess(self, metrics: RunMetrics) -> None:
-        # Iterates the delivery registry, not ``deployment.queries``:
+    def _delivery_counters(self) -> List[DeliveryCounters]:
+        # Built from the delivery registry, not ``deployment.queries``:
         # the registry keeps registration order across repairs and still
         # holds subscriptions that ended the run torn down (their
         # pre-fault deliveries were real work and must be counted).
+        out: List[DeliveryCounters] = []
         for delivery in self._deliveries.values():
-            record = delivery.record  # type: ignore[attr-defined]
-            peer = self.net.super_peer(record.subscriber_node, include_removed=True)
-            work_per_item = base_load("restructure") * peer.pindex
             if isinstance(delivery, _MultiDelivery):
-                metrics.add_peer_work(
-                    record.subscriber_node, work_per_item * delivery.total_inputs
+                out.append(
+                    DeliveryCounters(
+                        delivery.record, True, delivery.total_inputs, delivery.results
+                    )
                 )
-                metrics.count_delivery(record.name, delivery.results)
-                continue
-            for _ in record.delivered:
-                metrics.add_peer_work(
-                    record.subscriber_node, work_per_item * delivery.inputs
+            else:
+                out.append(
+                    DeliveryCounters(
+                        delivery.record,  # type: ignore[attr-defined]
+                        False,
+                        delivery.inputs,  # type: ignore[attr-defined]
+                        delivery.results,  # type: ignore[attr-defined]
+                    )
                 )
-                metrics.count_delivery(record.name, delivery.results)
+        return out
+
+    def _account(
+        self, order: List["InstalledStream"], nodes: Dict[str, _StreamNode]
+    ) -> RunMetrics:
+        """Replay the accumulated counters into :class:`RunMetrics` via
+        :func:`repro.engine.accounting.replay_metrics` — the shared
+        replay whose accumulation order matches the materializing
+        executor exactly, so fault-free runs produce floating-point-
+        identical metrics (and the sharded executor, feeding merged
+        counters through the same function, matches this one)."""
+        return replay_metrics(
+            self.net,
+            self.duration,
+            order,
+            self._stream_counters(nodes),
+            self._retired,
+            self._delivery_counters(),
+            faults_applied=self._faults_applied,
+            items_lost=self._source_items_lost
+            + sum(gate.lost for gate in self._gates),
+            recovery_time_s=self._recovery_time_s,
+            queries_repaired=self._queries_repaired,
+            queries_lost=sum(
+                1 for name in self._deliveries if name not in self.deployment.queries
+            ),
+        )
 
 
 # ----------------------------------------------------------------------

@@ -54,6 +54,11 @@ class Restructurer:
         self._aggregations = analyzed.aggregations()
         self._compiled = self._compile(analyzed.flwr.return_expr)
 
+    def __reduce__(self) -> tuple:
+        """Pickle as the analyzed query; the closure tree recompiles on
+        the receiving side (restructuring is stateless per item)."""
+        return (Restructurer, (self.analyzed,))
+
     # ------------------------------------------------------------------
     def build(self, item: Element) -> List[Element]:
         """Produce the result elements for one delivered stream item."""

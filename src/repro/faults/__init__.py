@@ -9,6 +9,7 @@ from .schedule import (
     SuperPeerCrash,
     SuperPeerRejoin,
     single_crash,
+    staggered_crashes,
 )
 
 __all__ = [
@@ -20,4 +21,5 @@ __all__ = [
     "SuperPeerCrash",
     "SuperPeerRejoin",
     "single_crash",
+    "staggered_crashes",
 ]

@@ -171,3 +171,29 @@ def single_crash(time: float, peer: str, rejoin_at: float = 0.0) -> FaultSchedul
         else (SuperPeerCrash(time, peer),)
     )
     return FaultSchedule(events)
+
+
+def staggered_crashes(
+    start: float,
+    peers: Sequence[str],
+    spacing: float = 2.0,
+    downtime: float = 0.0,
+) -> FaultSchedule:
+    """A rolling-churn schedule: ``peers`` crash one after another.
+
+    Peer ``i`` crashes at ``start + i * spacing``; ``downtime > 0``
+    additionally rejoins each peer that long after its crash.  Staggered
+    crashes are the stress pattern for shard re-certification: every
+    event forces a plan repair and (on the sharded executor) a
+    re-partition, and overlapping downtimes exercise repairs computed on
+    an already-degraded backbone.
+    """
+    if spacing <= 0:
+        raise FaultError(f"crash spacing must be > 0, got {spacing!r}")
+    events: List[FaultEvent] = []
+    for index, peer in enumerate(peers):
+        crash_at = start + index * spacing
+        events.append(SuperPeerCrash(crash_at, peer))
+        if downtime > 0:
+            events.append(SuperPeerRejoin(crash_at + downtime, peer))
+    return FaultSchedule(events)

@@ -60,6 +60,10 @@ class EpochSnapshot:
     inflight_items: int = 0
     inflight_peak: int = 0
     wall_s: float = 0.0
+    #: Worker cell this snapshot belongs to (sharded executor runs
+    #: emit one interleaved series per cell); ``None`` for the
+    #: sequential executor's single global series.
+    shard: Optional[int] = None
 
     @property
     def duration(self) -> float:
@@ -89,6 +93,9 @@ class EpochSnapshot:
             "faults_applied": self.faults_applied,
             "inflight_items": self.inflight_items,
             "inflight_peak": self.inflight_peak,
+            # Omitted for sequential runs so existing exported logs
+            # keep their exact key set.
+            **({"shard": self.shard} if self.shard is not None else {}),
         }
 
     @classmethod

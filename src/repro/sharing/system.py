@@ -11,6 +11,7 @@ Typical use (see ``examples/quickstart.py``)::
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -34,6 +35,7 @@ from .subscribe import RegistrationResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from ..analysis.shards import ShardPlan
+    from ..engine.parallel import ShardedSimulator
     from ..faults import FaultEvent
     from .repair import RepairReport
 
@@ -523,6 +525,7 @@ class StreamGlobe:
         max_items_per_source: Optional[int] = None,
         faults=None,
         capture=None,
+        workers: Optional[int] = None,
     ) -> RunMetrics:
         """Execute the deployed network for ``duration`` virtual seconds.
 
@@ -539,23 +542,62 @@ class StreamGlobe:
 
         ``capture`` — optional ``(query_name, result_item)`` hook
         observing every restructured result as it is delivered.
+
+        ``workers`` — run on the sharded executor
+        (:class:`~repro.engine.parallel.ShardedSimulator`) with up to
+        this many worker cells, partitioned by the certified
+        :meth:`shard_plan`.  ``RunMetrics`` is byte-identical to the
+        sequential executor at every worker count.  Defaults to the
+        ``REPRO_PARALLEL`` environment variable (worker count; unset
+        or ``1`` means sequential); ``REPRO_PARALLEL_MODE`` picks the
+        backend (``auto``/``process``/``inline``).
         """
         self._preflight("before execution")
         generators = {
             name: source.generator_factory() for name, source in self.sources.items()
         }
         repair = self.plan_repairer().repair if faults else None
-        simulator = StreamSimulator(
-            self.net,
-            self.deployment,
-            generators,
-            duration,
-            max_items_per_source=max_items_per_source,
-            schedule=faults,
-            repair=repair,
-            capture=capture,
-            recorder=self.recorder,
-        )
+        if workers is None:
+            env = os.environ.get("REPRO_PARALLEL", "").strip()
+            if env:
+                try:
+                    workers = int(env)
+                except ValueError:
+                    raise ValueError(
+                        f"REPRO_PARALLEL must be a worker count, got {env!r}"
+                    ) from None
+        simulator: Union[StreamSimulator, "ShardedSimulator"]
+        if workers is not None and workers > 1:
+            from ..engine.parallel import ShardedSimulator
+
+            simulator = ShardedSimulator(
+                self.net,
+                self.deployment,
+                generators,
+                duration,
+                plan=self.shard_plan(),
+                workers=workers,
+                max_items_per_source=max_items_per_source,
+                schedule=faults,
+                repair=repair,
+                replan=self.shard_plan,
+                capture=capture,
+                recorder=self.recorder,
+                mode=os.environ.get("REPRO_PARALLEL_MODE", "auto"),
+            )
+        else:
+            simulator = StreamSimulator(
+                self.net,
+                self.deployment,
+                generators,
+                duration,
+                max_items_per_source=max_items_per_source,
+                schedule=faults,
+                repair=repair,
+                capture=capture,
+                recorder=self.recorder,
+            )
+        self.last_simulator = simulator
         metrics = simulator.run()
         if self.recorder.enabled:
             self._sync_cache_gauges()

@@ -15,7 +15,7 @@ them per strategy and executes them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 from ..faults import FaultSchedule, LinkFailure, SuperPeerCrash, SuperPeerRejoin
 from ..network.topology import Network, example_topology, grid_topology
@@ -181,6 +181,50 @@ def scenario_churn(
         queries=scenario.queries,
         duration=duration,
         faults=FaultSchedule(events),
+    )
+
+
+def scenario_churn_hotspots(
+    rows: int = 3,
+    cols: int = 4,
+    query_count: int = 24,
+    seed: int = 20060330,
+    duration: float = 40.0,
+    crash_start: float = 12.0,
+    crash_peers: Sequence[str] = ("SP1", "SP6"),
+    crash_spacing: float = 6.0,
+    downtime: float = 8.0,
+) -> Scenario:
+    """Multi-hotspot sky survey under rolling churn (bench PR7).
+
+    The photon stream carries **three** hot spots, so selection-heavy
+    subscriptions stay busy across disjoint sky regions and the
+    certified shard partition gets genuinely unbalanced cells — the
+    interesting regime for the sharded executor.  ``crash_peers`` then
+    crash one after another (each rejoining ``downtime`` later),
+    forcing repeated plan repair and shard re-certification mid-run.
+    """
+    from ..faults.schedule import staggered_crashes
+
+    base = scenario_grid(rows, cols, query_count, seed=seed, duration=duration)
+    config = PhotonStreamConfig(
+        seed=seed,
+        frequency=100.0,
+        hot_spots=(
+            HotSpot(ra=150.0, dec=2.0, sigma=2.0, weight=0.20, mean_energy=1.4),
+            HotSpot(ra=186.0, dec=12.0, sigma=3.5, weight=0.15, mean_energy=0.9),
+            HotSpot(ra=210.0, dec=-5.0, sigma=1.2, weight=0.12, mean_energy=2.1),
+        ),
+    )
+    return Scenario(
+        name=f"churn-hotspots-{rows}x{cols}",
+        network_factory=base.network_factory,
+        sources=[SourceSpec("photons", "T0", 100.0, config)],
+        queries=base.queries,
+        duration=duration,
+        faults=staggered_crashes(
+            crash_start, crash_peers, spacing=crash_spacing, downtime=downtime
+        ),
     )
 
 

@@ -240,6 +240,18 @@ class Element:
         return size
 
     # ------------------------------------------------------------------
+    # Pickling (the sharded executor ships item batches across worker
+    # process boundaries)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> tuple:
+        """Compact slot state; keeps the pinned size of frozen trees so
+        transport accounting on the receiving side stays identical."""
+        return (self.tag, self.text, self.children, self._size)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.tag, self.text, self.children, self._size = state
+
+    # ------------------------------------------------------------------
     # Equality and display
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:

@@ -36,6 +36,11 @@ class Path:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Path is immutable")
 
+    def __reduce__(self) -> tuple:
+        """Pickle as the validated step tuple (immutability means the
+        default slot-state protocol would trip ``__setattr__``)."""
+        return (Path, (self.steps,))
+
     # ------------------------------------------------------------------
     # Algebra
     # ------------------------------------------------------------------

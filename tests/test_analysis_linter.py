@@ -172,6 +172,27 @@ def test_set_algebra_methods_fire():
     assert codes("for x in set(a).union(set(b)):\n    emit(x)\n") == ["L310"]
 
 
+def test_serialization_sinks_fire():
+    assert codes("payload = pickle.dumps(set(ids))\n") == ["L310"]
+    assert codes("json.dump({x for x in rows}, handle)\n") == ["L310"]
+    assert codes("conn.send(set(a) | set(b))\n") == ["L310"]
+    assert codes("queue.put(frozenset(batch))\n") == ["L310"]
+    assert codes("conn.send_bytes(set(chunks))\n") == ["L310"]
+
+
+def test_serialization_sinks_check_every_argument():
+    # The set payload need not be the first argument (json.dump's
+    # object is, but protocol args can push it elsewhere).
+    assert codes("pickle.dump(obj, handle)\n") == []
+    assert codes("pickle.dumps((ids, set(extra)))\n") == []  # nested: not flagged
+    assert codes("conn.send(('step', set(batch)))\n") == []  # nested: not flagged
+
+
+def test_serialized_sorted_sets_are_fine():
+    assert codes("payload = pickle.dumps(sorted(set(ids)))\n") == []
+    assert codes("conn.send(list(range(3)))\n") == []
+
+
 def test_sorted_set_iteration_is_fine():
     assert codes("for x in sorted(set(a) - set(b)):\n    emit(x)\n") == []
     assert codes("text = ', '.join(sorted({x for x in rows}))\n") == []

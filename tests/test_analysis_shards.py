@@ -322,3 +322,69 @@ def test_verify_flag_runs_the_certifier():
     with pytest.raises(InvariantViolation) as exc:
         system.register_query("Q2", PAPER_QUERIES["Q2"], "P2")
     assert "S501" in exc.value.report.codes()
+
+
+# ----------------------------------------------------------------------
+# Runtime partition (ShardPlan -> worker cells)
+# ----------------------------------------------------------------------
+def certified_plan():
+    system = make_system()
+    for name, text in PAPER_QUERIES.items():
+        system.register_query(name, text, subscriber_peer=f"P{name[1]}")
+    plan = system.shard_plan()
+    assert plan.certified
+    return plan, system.deployment
+
+
+def test_partition_for_workers_is_deterministic():
+    from repro.analysis import partition_for_workers
+
+    plan, deployment = certified_plan()
+    first = partition_for_workers(plan, deployment, 3)
+    second = partition_for_workers(plan, deployment, 3)
+    assert first.cells == second.cells
+    assert first.node_cell == second.node_cell
+
+
+def test_partition_never_splits_a_certified_shard():
+    from repro.analysis import partition_for_workers
+
+    plan, deployment = certified_plan()
+    for workers in (2, 3, 4, plan.shard_count, plan.shard_count + 5):
+        partition = partition_for_workers(plan, deployment, workers)
+        # Weight-0 shards coalesce, so the cap is an upper bound.
+        assert 1 < partition.cell_count <= min(workers, plan.shard_count)
+        for shard in plan.shards:
+            holders = [
+                cell_index
+                for cell_index, shard_ids in enumerate(partition.cells)
+                if shard.shard_id in shard_ids
+            ]
+            assert len(holders) == 1  # coarsening only, never splitting
+
+
+def test_partition_balances_by_stream_weight():
+    from repro.analysis import partition_for_workers
+    from repro.analysis.shards import shard_weights
+
+    plan, deployment = certified_plan()
+    partition = partition_for_workers(plan, deployment, 2)
+    weights = shard_weights(plan, deployment)
+    loads = [
+        sum(weights[shard_id] for shard_id in shard_ids)
+        for shard_ids in partition.cells
+    ]
+    # LPT greedy: no cell may carry everything while another is empty.
+    assert min(loads) > 0
+    assert max(loads) <= sum(loads) - min(loads) or partition.cell_count == 1
+
+
+def test_query_lags_never_exceed_certificate():
+    from repro.analysis import partition_for_workers
+
+    plan, deployment = certified_plan()
+    certified = dict(plan.epoch_lag)
+    for workers in (2, 4):
+        partition = partition_for_workers(plan, deployment, workers)
+        for query, lag in partition.query_lags(deployment).items():
+            assert 0 <= lag <= certified[query]

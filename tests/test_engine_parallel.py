@@ -1,0 +1,305 @@
+"""The sharded executor: byte-identical metrics at every worker count.
+
+Every test compares :class:`~repro.engine.parallel.ShardedSimulator`
+output against the sequential :class:`StreamSimulator` on identically
+seeded systems — equality below is full ``RunMetrics`` equality (exact
+floats, not approximate), which is the PR's core guarantee.
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.engine.executor import ExecutionError
+from repro.engine.parallel import ShardedSimulator
+from repro.faults import FaultSchedule, LinkFailure, single_crash, staggered_crashes
+from repro.obs.recorder import Recorder
+from repro.xmlkit import serialize
+
+from .conftest import PAPER_QUERIES, make_system
+
+DURATION = 8.0
+MAX_ITEMS = 150
+
+#: Fault schedules over the example topology (SP1..SP8 backbone).
+FAULT_CASES = {
+    "crash": lambda: single_crash(3.0, "SP6"),
+    "crash_rejoin": lambda: single_crash(3.0, "SP5", rejoin_at=6.0),
+    "link": lambda: FaultSchedule([LinkFailure(3.0, "SP4", "SP5")]),
+    "rolling": lambda: staggered_crashes(3.0, ("SP6", "SP5"), spacing=2.0, downtime=3.0),
+}
+
+
+def deployed_system(**kwargs):
+    system = make_system(**kwargs)
+    for name, text in PAPER_QUERIES.items():
+        system.register_query(name, text, subscriber_peer=f"P{name[1]}")
+    return system
+
+
+def run_system(workers, mode="inline", faults_key=None, **system_kwargs):
+    """One full run; returns (metrics, per-query capture, simulator)."""
+    os.environ["REPRO_PARALLEL_MODE"] = mode
+    system = deployed_system(**system_kwargs)
+    captured = {}
+    metrics = system.run(
+        DURATION,
+        max_items_per_source=MAX_ITEMS,
+        faults=FAULT_CASES[faults_key]() if faults_key else None,
+        capture=lambda name, item: captured.setdefault(name, []).append(
+            serialize(item)
+        ),
+        workers=workers,
+    )
+    return metrics, captured, system.last_simulator
+
+
+@pytest.fixture(autouse=True)
+def _clean_parallel_env(monkeypatch):
+    monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+    monkeypatch.delenv("REPRO_PARALLEL_MODE", raising=False)
+
+
+# ----------------------------------------------------------------------
+# Identity: fault-free
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [2, 4, 8])
+def test_identity_inline(workers):
+    seq_metrics, seq_cap, _ = run_system(1)
+    par_metrics, par_cap, simulator = run_system(workers)
+    assert par_metrics == seq_metrics
+    assert par_cap == seq_cap
+    assert simulator.mode_used == "inline"
+    assert 1 < simulator.workers_used <= workers
+
+
+def test_identity_process():
+    seq_metrics, seq_cap, _ = run_system(1)
+    par_metrics, par_cap, simulator = run_system(2, mode="process")
+    assert par_metrics == seq_metrics
+    assert par_cap == seq_cap
+    assert simulator.mode_used == "process"
+
+
+# ----------------------------------------------------------------------
+# Identity: under churn (faults applied at epoch barriers, plan
+# re-certified and re-partitioned on every Network.version bump)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("case", sorted(FAULT_CASES))
+def test_identity_under_faults_inline(case):
+    seq_metrics, seq_cap, _ = run_system(1, faults_key=case)
+    par_metrics, par_cap, _ = run_system(4, faults_key=case)
+    assert par_metrics == seq_metrics
+    assert par_cap == seq_cap
+    assert par_metrics.faults_applied > 0
+
+
+def test_identity_under_faults_process():
+    seq_metrics, seq_cap, _ = run_system(1, faults_key="crash_rejoin")
+    par_metrics, par_cap, simulator = run_system(
+        2, mode="process", faults_key="crash_rejoin"
+    )
+    assert par_metrics == seq_metrics
+    assert par_cap == seq_cap
+    assert simulator.mode_used == "process"
+
+
+def test_recertification_changes_the_partition_mid_run():
+    """Churn merges/splits shards mid-run; the run stays identical."""
+    os.environ["REPRO_PARALLEL_MODE"] = "inline"
+    seq_metrics, _, _ = run_system(1, faults_key="rolling")
+
+    system = deployed_system()
+    plans = []
+
+    def replan():
+        plan = system.shard_plan()
+        plans.append(plan)
+        return plan
+
+    generators = {
+        name: source.generator_factory()
+        for name, source in system.sources.items()
+    }
+    simulator = ShardedSimulator(
+        system.net,
+        system.deployment,
+        generators,
+        DURATION,
+        plan=system.shard_plan(),
+        workers=4,
+        max_items_per_source=MAX_ITEMS,
+        schedule=FAULT_CASES["rolling"](),
+        repair=system.plan_repairer().repair,
+        replan=replan,
+        mode="inline",
+    )
+    par_metrics = simulator.run()
+    assert par_metrics == seq_metrics
+    # Every applied fault event re-certified; the crash plans differ
+    # from the initial partition (a node left, so its shard is gone or
+    # merged).
+    assert len(plans) == par_metrics.faults_applied >= 3
+    initial = simulator.plan
+    assert any(plan.shard_count != initial.shard_count for plan in plans)
+    assert simulator.partition_conflicts == 0
+
+
+# ----------------------------------------------------------------------
+# Fallbacks and clamps
+# ----------------------------------------------------------------------
+def test_uncertified_plan_falls_back_to_sequential():
+    system = deployed_system()
+    generators = {
+        name: source.generator_factory()
+        for name, source in system.sources.items()
+    }
+    plan = dataclasses.replace(system.shard_plan(), certified=False)
+    simulator = ShardedSimulator(
+        system.net,
+        system.deployment,
+        generators,
+        DURATION,
+        plan=plan,
+        workers=4,
+        max_items_per_source=MAX_ITEMS,
+    )
+    metrics = simulator.run()
+    assert simulator.mode_used == "sequential"
+    assert simulator.workers_used == 1
+    seq_metrics, _, _ = run_system(1)
+    assert metrics == seq_metrics
+
+
+def test_single_worker_request_stays_sequential():
+    _, _, simulator = run_system(1)
+    assert not isinstance(simulator, ShardedSimulator)
+
+
+def test_worker_count_clamped_to_shard_count():
+    _, _, simulator = run_system(64)
+    plan = simulator.plan
+    assert simulator.workers_used <= plan.shard_count
+    assert simulator.workers_used > 1
+
+
+# ----------------------------------------------------------------------
+# Exchange accounting and per-shard telemetry
+# ----------------------------------------------------------------------
+def test_exchange_counters_and_per_shard_peaks():
+    _, _, simulator = run_system(2)
+    assert simulator.exchange_batches > 0
+    assert simulator.exchange_items > 0
+    assert simulator.exchange_bytes > 0
+    for (src, dst), items in simulator.exchange_pairs.items():
+        assert src != dst
+        assert items > 0
+    peaks = simulator.peak_live_items_per_shard
+    assert sorted(peaks) == list(range(simulator.workers_used))
+    assert simulator.peak_live_items == max(peaks.values())
+
+
+def test_query_lags_respect_certified_epoch_lag():
+    _, _, simulator = run_system(4)
+    certified = dict(simulator.plan.epoch_lag)
+    for query, lag in simulator.query_lags.items():
+        # Cell-granularity crossings can only be fewer than the
+        # finest-partition certificate's.
+        assert 0 <= lag <= certified[query]
+
+
+# ----------------------------------------------------------------------
+# Traced runs: one interleaved epoch series per shard cell
+# ----------------------------------------------------------------------
+def test_traced_run_emits_per_shard_epochs():
+    recorder = Recorder()
+    seq_metrics, _, _ = run_system(1)
+    os.environ["REPRO_PARALLEL_MODE"] = "inline"
+    system = deployed_system(recorder=recorder)
+    metrics = system.run(DURATION, max_items_per_source=MAX_ITEMS, workers=2)
+    assert metrics == seq_metrics
+    assert recorder.epochs
+    shards = {snapshot.shard for snapshot in recorder.epochs}
+    assert shards == {0, 1}
+    for snapshot in recorder.epochs:
+        assert snapshot.to_dict()["shard"] == snapshot.shard
+    # Per-cell series generated what the global run generated.
+    assert sum(s.items_generated for s in recorder.epochs) == sum(
+        metrics.items_generated.values()
+    )
+
+
+def test_sequential_epochs_have_no_shard_key():
+    recorder = Recorder()
+    system = deployed_system(recorder=recorder)
+    system.run(DURATION, max_items_per_source=MAX_ITEMS, workers=1)
+    assert recorder.epochs
+    for snapshot in recorder.epochs:
+        assert snapshot.shard is None
+        assert "shard" not in snapshot.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Partition conflicts (re-certification failure policy)
+# ----------------------------------------------------------------------
+def conflict_simulator(system, mode):
+    generators = {
+        name: source.generator_factory()
+        for name, source in system.sources.items()
+    }
+    return ShardedSimulator(
+        system.net,
+        system.deployment,
+        generators,
+        DURATION,
+        plan=system.shard_plan(),
+        workers=2,
+        max_items_per_source=MAX_ITEMS,
+        schedule=FAULT_CASES["crash"](),
+        repair=system.plan_repairer().repair,
+        replan=lambda: dataclasses.replace(
+            system.shard_plan(), certified=False
+        ),
+        mode=mode,
+    )
+
+
+def test_inline_continues_on_partition_conflict():
+    seq_metrics, _, _ = run_system(1, faults_key="crash")
+    system = deployed_system()
+    simulator = conflict_simulator(system, "inline")
+    metrics = simulator.run()
+    assert simulator.partition_conflicts > 0
+    # Inline cells share one process; keeping the stale partition is
+    # safe (coarsening certified shards is always safe), so the run
+    # still matches the sequential executor exactly.
+    assert metrics == seq_metrics
+
+
+def test_process_mode_raises_on_partition_conflict():
+    system = deployed_system()
+    simulator = conflict_simulator(system, "process")
+    with pytest.raises(ExecutionError, match="partition"):
+        simulator.run()
+
+
+# ----------------------------------------------------------------------
+# Environment-variable integration
+# ----------------------------------------------------------------------
+def test_repro_parallel_env_selects_sharded_executor(monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLEL", "2")
+    monkeypatch.setenv("REPRO_PARALLEL_MODE", "inline")
+    seq_metrics, _, _ = run_system(1)
+
+    system = deployed_system()
+    metrics = system.run(DURATION, max_items_per_source=MAX_ITEMS)
+    assert isinstance(system.last_simulator, ShardedSimulator)
+    assert metrics == seq_metrics
+
+
+def test_repro_parallel_env_rejects_garbage(monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLEL", "banana")
+    system = deployed_system()
+    with pytest.raises(ValueError, match="REPRO_PARALLEL"):
+        system.run(DURATION, max_items_per_source=MAX_ITEMS)

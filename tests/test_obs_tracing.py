@@ -8,6 +8,8 @@ Also pins two behavioral guarantees of the instrumentation layer:
   ``Network.version`` bumps (the churn APIs), never otherwise.
 """
 
+import os
+
 import pytest
 
 from repro.bench.harness import run_scenario
@@ -161,6 +163,11 @@ class TestTracedEqualsUntraced:
         assert traced.metrics.items_delivered == plain.metrics.items_delivered
         assert traced.metrics.items_generated == plain.metrics.items_generated
 
+    @pytest.mark.skipif(
+        bool(os.environ.get("REPRO_PARALLEL")),
+        reason="shard cells do not emit per-operator latency histograms "
+        "(DESIGN.md §12 caveats)",
+    )
     def test_operator_histograms_observed(self):
         scenario = scenario_one(query_count=4)
         scenario.duration = 6.0
