@@ -79,7 +79,7 @@ def _run_once(
     sample: Dict[str, Any] = {
         "wall_s": round(wall, 4),
         "items": items,
-        "items_per_s": round(items / wall, 1),
+        "items_per_s": round(items / wall, 1) if wall > 0 else 0.0,
         "metrics": metrics,
     }
     if workers > 1:
@@ -135,7 +135,7 @@ def run_benchmark(names: List[str], repeats: int = 2) -> Dict[str, Any]:
                 reference = metrics
                 base_rate = sample["items_per_s"]
             sample["identical"] = metrics == reference
-            if base_rate:
+            if base_rate is not None and base_rate > 0:
                 sample["speedup_vs_1w"] = round(
                     sample["items_per_s"] / base_rate, 3
                 )

@@ -1,0 +1,321 @@
+"""Static-vs-adaptive benchmark: live plan migration under load drift.
+
+Runs each drift scenario three ways and writes ``BENCH_PR8.json``:
+
+* **static** — the plan placed at registration time, never revisited;
+* **adaptive** — the same system with a
+  :class:`~repro.sharing.rebalance.Rebalancer` attached: the drift
+  detector watches the per-epoch CPU% series and migrates the affected
+  subscriptions off sustained hotspots (every migration passes the
+  ``verify=True`` pre-flight);
+* **adaptive-sharded** — the adaptive run again on the 2-worker
+  sharded data plane, verified byte-identical to the sequential
+  adaptive run (skipped, with a printed notice, on 1-core hosts).
+
+The headline figure is the *hottest peer's run-average CPU%* — the
+load the drifted source concentrates on the originally cheapest peer —
+plus the conservation ledger: stateless (selection/projection)
+subscriptions must deliver exactly the static run's items (migration
+is make-before-break at quiescent barriers), while windowed
+aggregations may shift by their restarted windows (DESIGN.md §8, same
+as churn repair).
+
+Usage::
+
+    python -m repro.bench.rebalance                    # all scenarios
+    python -m repro.bench.rebalance --scenario drift
+    python -m repro.bench.rebalance --check            # smoke gate:
+        # fail unless the adaptive run migrates, beats static on the
+        # hottest peer, keeps downtime at 0 and conserves stateless
+        # deliveries (sharded identity only enforced on >= 2 cores)
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..engine.metrics import RunMetrics
+from ..obs.drift import DriftConfig
+from ..sharing.rebalance import Rebalancer
+from ..sharing.system import StreamGlobe
+from ..workload.scenarios import (
+    Scenario,
+    scenario_drift,
+    scenario_hotspot_shift,
+)
+
+SCENARIOS: Dict[str, Callable[[], Scenario]] = {
+    "drift": scenario_drift,
+    "hotspot_shift": scenario_hotspot_shift,
+}
+
+#: Detector thresholds calibrated to the simulated CPU% scale of the
+#: drift scenarios (the hot peer idles around 6%% and surges past 25%%
+#: after the rate step), not to the 80%% production default.
+DRIFT_CONFIG = DriftConfig(
+    cpu_threshold=15.0,
+    clear_threshold=8.0,
+    window=2,
+    sustain=2,
+    cooldown=4,
+)
+
+#: Query kinds whose delivered counts must be *exactly* conserved
+#: across a migration (no windows to restart).
+STATELESS_KINDS = ("selection", "projection")
+
+
+def _build_verified(scenario: Scenario) -> StreamGlobe:
+    """Register the scenario's workload on a ``verify=True`` system, so
+    every migration re-runs the full analysis pre-flight."""
+    system = StreamGlobe(
+        scenario.build_network(), strategy="stream-sharing", verify=True
+    )
+    for source in scenario.sources:
+        system.register_stream(
+            source.name,
+            "photons/photon",
+            source.generator_factory(),
+            frequency=source.frequency,
+            source_peer=source.source_peer,
+        )
+    for spec in scenario.queries:
+        system.register_query(spec.name, spec.text, spec.subscriber_peer)
+    return system
+
+
+def _hottest_peer(metrics: RunMetrics, system: StreamGlobe) -> Tuple[str, float]:
+    net = system.net
+    peer = max(
+        net.super_peer_names(),
+        key=lambda name: (metrics.peer_cpu_percent(net, name), name),
+    )
+    return peer, metrics.peer_cpu_percent(net, peer)
+
+
+def _run_once(
+    scenario: Scenario,
+    rebalancer_factory: Optional[Callable[[StreamGlobe], Rebalancer]] = None,
+    workers: Optional[int] = None,
+) -> Tuple[RunMetrics, StreamGlobe, Optional[Rebalancer], float]:
+    system = _build_verified(scenario)
+    rebalancer = (
+        rebalancer_factory(system) if rebalancer_factory is not None else None
+    )
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        metrics = system.run(
+            scenario.duration,
+            faults=scenario.faults,
+            workers=workers,
+            rebalancer=rebalancer,
+        )
+        wall = time.perf_counter() - start
+    finally:
+        gc.enable()
+    return metrics, system, rebalancer, wall
+
+
+def _sample(
+    metrics: RunMetrics,
+    system: StreamGlobe,
+    rebalancer: Optional[Rebalancer],
+    wall: float,
+) -> Dict[str, Any]:
+    peer, cpu = _hottest_peer(metrics, system)
+    sample: Dict[str, Any] = {
+        "wall_s": round(wall, 4),
+        "hottest_peer": peer,
+        "hottest_peer_cpu_percent": round(cpu, 6),
+        "total_mbit": round(metrics.total_mbit(), 6),
+        "items_delivered": sum(metrics.items_delivered.values()),
+        "items_generated": sum(metrics.items_generated.values()),
+        "migrations_applied": metrics.migrations_applied,
+        "migration_downtime_epochs": metrics.migration_downtime_epochs,
+    }
+    if rebalancer is not None:
+        sample["drift_alerts"] = len(rebalancer.detector.alerts)
+        sample["migrations"] = [
+            {
+                "epoch_index": report.epoch_index,
+                "hot_peers": list(report.hot_peers),
+                "moved_queries": report.moved_queries,
+                "removed_streams": len(report.removed_streams),
+                "hot_work_released": round(report.hot_work_released(), 3),
+                "summary": report.summary(),
+            }
+            for report in rebalancer.reports
+        ]
+    return sample
+
+
+def _conservation(
+    scenario: Scenario, static: RunMetrics, adaptive: RunMetrics
+) -> Dict[str, Any]:
+    """Per-kind delivery ledger: stateless kinds must match exactly."""
+    kinds = {spec.name: spec.kind for spec in scenario.queries}
+    mismatched: List[str] = []
+    aggregate_delta = 0
+    for name, kind in kinds.items():
+        a = static.items_delivered.get(name, 0)
+        b = adaptive.items_delivered.get(name, 0)
+        if kind in STATELESS_KINDS:
+            if a != b:
+                mismatched.append(f"{name} ({kind}): static {a} != adaptive {b}")
+        else:
+            aggregate_delta += abs(a - b)
+    return {
+        "stateless_conserved": not mismatched,
+        "stateless_mismatches": mismatched,
+        "aggregate_items_delta": aggregate_delta,
+    }
+
+
+def run_benchmark(names: List[str]) -> Dict[str, Any]:
+    cpu_count = os.cpu_count() or 1
+    report: Dict[str, Any] = {
+        "benchmark": "repro.bench.rebalance",
+        "cpu_count": cpu_count,
+        "drift_config": {
+            "cpu_threshold": DRIFT_CONFIG.cpu_threshold,
+            "clear_threshold": DRIFT_CONFIG.clear_threshold,
+            "window": DRIFT_CONFIG.window,
+            "sustain": DRIFT_CONFIG.sustain,
+            "cooldown": DRIFT_CONFIG.cooldown,
+        },
+        "scenarios": {},
+    }
+    for name in names:
+        factory = SCENARIOS[name]
+
+        def make_rebalancer(system: StreamGlobe) -> Rebalancer:
+            return Rebalancer(system, config=DRIFT_CONFIG)
+
+        static, static_sys, _, static_wall = _run_once(factory())
+        adaptive, adaptive_sys, rebalancer, adaptive_wall = _run_once(
+            factory(), rebalancer_factory=make_rebalancer
+        )
+        entry: Dict[str, Any] = {
+            "static": _sample(static, static_sys, None, static_wall),
+            "adaptive": _sample(adaptive, adaptive_sys, rebalancer, adaptive_wall),
+            "conservation": _conservation(factory(), static, adaptive),
+        }
+        entry["cpu_improvement_percent"] = round(
+            entry["static"]["hottest_peer_cpu_percent"]
+            - entry["adaptive"]["hottest_peer_cpu_percent"],
+            6,
+        )
+        if cpu_count >= 2:
+            sharded, sharded_sys, sh_rebalancer, sharded_wall = _run_once(
+                factory(), rebalancer_factory=make_rebalancer, workers=2
+            )
+            simulator = sharded_sys.last_simulator
+            sharded_sample = _sample(
+                sharded, sharded_sys, sh_rebalancer, sharded_wall
+            )
+            sharded_sample["mode"] = simulator.mode_used
+            sharded_sample["cells"] = simulator.workers_used
+            sharded_sample["identical_to_sequential"] = sharded == adaptive
+            entry["adaptive_sharded"] = sharded_sample
+        else:
+            print(
+                f"sharded leg skipped (cpu_count={cpu_count}); sequential "
+                "gates still enforced"
+            )
+        report["scenarios"][name] = entry
+    return report
+
+
+def check_gate(report: Dict[str, Any]) -> int:
+    """Smoke gate for CI: adaptive must migrate, beat static on the
+    hottest peer, stay downtime-free and conserve stateless deliveries
+    on ``scenario_drift``; sharded identity is enforced whenever the
+    sharded leg ran (>= 2 cores)."""
+    failures: List[str] = []
+    drift = report["scenarios"].get("drift")
+    if drift is not None:
+        static_cpu = drift["static"]["hottest_peer_cpu_percent"]
+        adaptive_cpu = drift["adaptive"]["hottest_peer_cpu_percent"]
+        if drift["adaptive"]["migrations_applied"] < 1:
+            failures.append("drift: adaptive run applied no migrations")
+        if adaptive_cpu >= static_cpu:
+            failures.append(
+                f"drift: adaptive hottest-peer CPU {adaptive_cpu:.3f}% did "
+                f"not improve on static {static_cpu:.3f}%"
+            )
+    for name, entry in report["scenarios"].items():
+        if entry["adaptive"]["migration_downtime_epochs"] != 0:
+            failures.append(f"{name}: migration downtime epochs != 0")
+        conservation = entry["conservation"]
+        if not conservation["stateless_conserved"]:
+            failures.append(
+                f"{name}: stateless deliveries not conserved: "
+                + "; ".join(conservation["stateless_mismatches"])
+            )
+        sharded = entry.get("adaptive_sharded")
+        if sharded is not None and not sharded["identical_to_sequential"]:
+            failures.append(
+                f"{name}: sharded adaptive RunMetrics diverged from "
+                "sequential adaptive"
+            )
+    for failure in failures:
+        print(f"GATE FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.rebalance", description=__doc__
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=[*SCENARIOS, "all"],
+        default="all",
+        help="which scenario(s) to run (default: all)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_PR8.json", help="report output path"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when the adaptive run fails to migrate, to beat "
+        "static, to conserve stateless deliveries, or to match the "
+        "sharded data plane",
+    )
+    options = parser.parse_args(argv)
+
+    names = list(SCENARIOS) if options.scenario == "all" else [options.scenario]
+    report = run_benchmark(names)
+    with open(options.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for name, entry in report["scenarios"].items():
+        static = entry["static"]
+        adaptive = entry["adaptive"]
+        print(
+            f"{name}: static hottest {static['hottest_peer']} "
+            f"{static['hottest_peer_cpu_percent']:.3f}% -> adaptive "
+            f"{adaptive['hottest_peer']} "
+            f"{adaptive['hottest_peer_cpu_percent']:.3f}% "
+            f"({adaptive['migrations_applied']} migration(s), "
+            f"downtime {adaptive['migration_downtime_epochs']})"
+        )
+        for migration in adaptive.get("migrations", []):
+            print(f"  {migration['summary']}")
+    print(f"report written to {options.out} (cpu_count={report['cpu_count']})")
+    if options.check:
+        return check_gate(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -137,6 +137,8 @@ def replay_metrics(
     recovery_time_s: float = 0.0,
     queries_repaired: int = 0,
     queries_lost: int = 0,
+    migrations_applied: int = 0,
+    migration_downtime_epochs: int = 0,
 ) -> RunMetrics:
     """Replay accumulated counters into :class:`RunMetrics`.
 
@@ -196,6 +198,8 @@ def replay_metrics(
     metrics.recovery_time_s = recovery_time_s
     metrics.queries_repaired = queries_repaired
     metrics.queries_lost = queries_lost
+    metrics.migrations_applied = migrations_applied
+    metrics.migration_downtime_epochs = migration_downtime_epochs
     return metrics
 
 

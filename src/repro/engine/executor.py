@@ -340,6 +340,17 @@ class StreamSimulator:
     epoch_samples:
         Number of evenly spaced time-series sampling boundaries a
         traced run is split into (faults add their own boundaries).
+    rebalancer:
+        Optional :class:`~repro.sharing.rebalance.Rebalancer`.  When
+        given, the run always takes the epoch path and the rebalancer
+        observes every mid-run epoch snapshot; when it migrates plans
+        (tearing down and re-registering subscriptions working on a
+        sustained-hot super-peer), the executor reconciles the running
+        pipelines against the rewritten deployment exactly like churn
+        repair — but with an already *open* delivery gate, since the
+        epoch boundary is quiescent and the rewrite is make-before-
+        break (``migration_downtime_epochs`` stays 0 and no items are
+        lost; the conservation tests pin both).
 
     After :meth:`run`, ``peak_live_items`` holds the maximum number of
     stream items the executor held in flight at any moment — bounded by
@@ -360,6 +371,7 @@ class StreamSimulator:
         capture: Optional[Callable[[str, Element], None]] = None,
         recorder: Optional[object] = None,
         epoch_samples: int = 8,
+        rebalancer: Optional[object] = None,
     ) -> None:
         if duration <= 0:
             raise ExecutionError("duration must be positive")
@@ -376,6 +388,7 @@ class StreamSimulator:
         self.capture = capture
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.epoch_samples = epoch_samples
+        self.rebalancer = rebalancer
         self.peak_live_items = 0
 
     # ------------------------------------------------------------------
@@ -403,6 +416,9 @@ class StreamSimulator:
         self._source_items_lost = 0
         self._recovery_time_s = 0.0
         self._queries_repaired = 0
+        self._migrations_applied = 0
+        self._migration_downtime_epochs = 0
+        self._migration_gates: List[_Gate] = []
 
         recorder = self.recorder
         self._epoch_index = 0
@@ -411,13 +427,15 @@ class StreamSimulator:
         self._last_operator_totals: Optional[Dict[str, int]] = None
         self._op_timer = self._make_op_timer() if recorder.enabled else None
 
-        if self.schedule or recorder.enabled:
+        if self.schedule or recorder.enabled or self.rebalancer is not None:
             # Traced runs always take the epoch path: sources advance in
             # interleaved time slices so snapshots cut across the whole
             # deployment.  Per-stream results are unchanged — sources
             # are independent DAG roots, operators are deterministic,
             # and multi-input combination runs over the full buffers at
             # finish() — so metrics match the untraced single-pass run.
+            # Rebalanced runs take it too: the drift detector consumes
+            # the same epoch snapshots a traced run records.
             self._run_epochs(gauge)
         else:
             for stream in order:
@@ -479,8 +497,9 @@ class StreamSimulator:
             else []
         )
         recorder = self.recorder
+        observing = recorder.enabled or self.rebalancer is not None
         samples: List[float] = []
-        if recorder.enabled and self.epoch_samples > 0:
+        if observing and self.epoch_samples > 0:
             step = self.duration / self.epoch_samples
             samples = [step * k for k in range(1, self.epoch_samples)]
         sample_index = 0
@@ -499,8 +518,7 @@ class StreamSimulator:
                 break
             while sample_index < len(samples) and samples[sample_index] <= boundary:
                 sample_index += 1
-            if recorder.enabled:
-                self._emit_epoch(boundary)
+            snapshot = self._emit_epoch(boundary) if observing else None
             # Recovery completions first: a fault striking the instant a
             # previous recovery ends sees the recovered subscriptions.
             while opens and opens[0][0] <= boundary:
@@ -512,6 +530,14 @@ class StreamSimulator:
                 if gate is not None and gate.open_at < self.duration:
                     heapq.heappush(opens, (gate.open_at, sequence, gate))
                     sequence += 1
+            # The rebalancer observes after the boundary's faults: a
+            # migration then adapts the post-repair plan instead of
+            # rewriting one a coincident fault immediately tears up.
+            if self.rebalancer is not None and snapshot is not None:
+                self._migration_downtime_epochs += sum(
+                    1 for g in self._migration_gates if not g.open
+                )
+                self._apply_migration(snapshot)
 
     def _pump_all_until(self, until: float, gauge: _Gauge) -> None:
         for stream_id in self._sources:
@@ -550,6 +576,31 @@ class StreamSimulator:
         self._gates.append(gate)
         self._reconcile(gate)
         return None if gate.open else gate
+
+    def _apply_migration(self, snapshot) -> None:
+        """Offer one epoch snapshot to the rebalancer; apply its moves.
+
+        A migration rewrites the deployment control-plane-side (tear
+        down + re-register, verified pre-flight); the executor then
+        reconciles its running pipelines against the rewritten plan
+        through the same diff churn repair uses.  The delivery gate is
+        created *open*: the boundary is quiescent (everything pumped up
+        to it was delivered), the rewrite is instantaneous in stream
+        time, so nothing is dropped — migration is make-before-break,
+        unlike fault recovery where the old plan is already dead.
+        """
+        report = self.rebalancer.observe_epoch(snapshot)
+        if report is None:
+            return
+        self._migrations_applied += 1
+        recorder = self.recorder
+        if recorder.enabled:
+            recorder.inc("exec.migrations_applied")
+        gate = _Gate(open_at=snapshot.t_end)
+        gate.open = True
+        self._gates.append(gate)
+        self._migration_gates.append(gate)
+        self._reconcile(gate)
 
     # ------------------------------------------------------------------
     # Plan construction
@@ -875,16 +926,19 @@ class StreamSimulator:
 
     def _emit_epoch(
         self, t_end: float, metrics: Optional[RunMetrics] = None
-    ) -> None:
+    ):
         """Snapshot the delta since the previous epoch boundary.
 
         ``metrics`` is the cumulative accounting replay at ``t_end``
         (recomputed here when not supplied) — :meth:`_account` is a pure
         replay of accumulated counters, so calling it mid-run observes
-        without perturbing the execution.
+        without perturbing the execution.  Returns the snapshot (also
+        handed to the recorder, a no-op when tracing is off — untraced
+        rebalanced runs still need it for the drift detector), or
+        ``None`` at a coincident boundary.
         """
         if t_end <= self._epoch_start and self._epoch_index > 0:
-            return  # coincident boundaries: nothing elapsed
+            return None  # coincident boundaries: nothing elapsed
         if metrics is None:
             metrics = self._account(self._topological_streams(), self._nodes)
         totals = self._operator_totals()
@@ -905,6 +959,7 @@ class StreamSimulator:
         self._epoch_start = t_end
         self._last_metrics = metrics
         self._last_operator_totals = totals
+        return snapshot
 
     # ------------------------------------------------------------------
     # Metrics replay
@@ -982,6 +1037,8 @@ class StreamSimulator:
             queries_lost=sum(
                 1 for name in self._deliveries if name not in self.deployment.queries
             ),
+            migrations_applied=self._migrations_applied,
+            migration_downtime_epochs=self._migration_downtime_epochs,
         )
 
 

@@ -44,6 +44,15 @@ class RunMetrics:
     #: Subscriptions still torn down (pending repair) at the end.
     queries_lost: int = 0
 
+    # -- adaptive rebalancing (zero for static runs) -------------------
+    #: Live plan migrations applied by a :class:`~repro.sharing
+    #: .rebalance.Rebalancer` during the run.
+    migrations_applied: int = 0
+    #: Epochs during which any migration's delivery gate stayed closed.
+    #: Migrations are make-before-break at quiescent epoch barriers, so
+    #: this stays 0 — the conservation tests pin it.
+    migration_downtime_epochs: int = 0
+
     # ------------------------------------------------------------------
     # Accumulation
     # ------------------------------------------------------------------

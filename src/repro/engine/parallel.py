@@ -514,6 +514,16 @@ class ShardedSimulator:
         produced in one exchange epoch are delivered at its end (the
         certified ``epoch_lag`` contract).  Fault and recovery
         boundaries always add their own (drained) barriers.
+    rebalancer:
+        Optional :class:`~repro.sharing.rebalance.Rebalancer`.  When
+        set, every sampling boundary becomes a *drained* barrier, the
+        per-cell counters are merged and replayed into one global
+        epoch snapshot (identical to the sequential executor's — the
+        drained counters replay byte-for-byte), and the snapshot is
+        offered to the rebalancer after the boundary's faults.  A
+        migration reconciles every cell through the same diff churn
+        repair uses, with an *open* delivery gate — make-before-break
+        at a quiescent barrier — and re-certifies the shard plan.
 
     After :meth:`run`:
 
@@ -543,6 +553,7 @@ class ShardedSimulator:
         epoch_samples: int = 8,
         exchange_epochs: int = 8,
         mode: str = "auto",
+        rebalancer: Optional[object] = None,
     ) -> None:
         if duration <= 0:
             raise ExecutionError("duration must be positive")
@@ -566,6 +577,7 @@ class ShardedSimulator:
         self.epoch_samples = epoch_samples
         self.exchange_epochs = max(1, exchange_epochs)
         self.mode = mode
+        self.rebalancer = rebalancer
 
         self.mode_used = "sequential"
         self.workers_used = 1
@@ -624,6 +636,7 @@ class ShardedSimulator:
             capture=self.capture,
             recorder=self.recorder,
             epoch_samples=self.epoch_samples,
+            rebalancer=self.rebalancer,
         )
         metrics = simulator.run()
         self.mode_used = "sequential"
@@ -762,13 +775,15 @@ class ShardedSimulator:
     def _run_cells(self) -> RunMetrics:
         duration = self.duration
         recorder = self.recorder
+        rebalancer = self.rebalancer
         events = (
             [e for e in self.schedule.events() if e.time < duration]
             if self.schedule
             else []
         )
+        observing = recorder.enabled or rebalancer is not None
         samples: List[float] = []
-        if recorder.enabled and self.epoch_samples > 0:
+        if observing and self.epoch_samples > 0:
             step = duration / self.epoch_samples
             samples = [step * k for k in range(1, self.epoch_samples)]
         exchange_step = duration / self.exchange_epochs
@@ -777,7 +792,18 @@ class ShardedSimulator:
         self._faults_applied = 0
         self._recovery_time_s = 0.0
         self._queries_repaired = 0
+        self._migrations_applied = 0
+        #: Migration gates open at creation (the barrier is quiescent,
+        #: make-before-break), so no observed epoch ever counts one
+        #: closed — the counter mirrors the sequential executor's.
+        self._migration_downtime_epochs = 0
         self._next_gate_id = 0
+        #: Global traced-epoch trackers feeding the rebalancer the same
+        #: snapshot sequence the sequential executor emits.
+        self._epoch_index = 0
+        self._epoch_start = 0.0
+        self._last_metrics: Optional[RunMetrics] = None
+        self._last_totals: Optional[Dict[str, int]] = None
         #: Per-cell traced-epoch trackers.
         self._cell_epoch_index = [0] * self._ncells
         self._cell_epoch_start = [0.0] * self._ncells
@@ -810,18 +836,26 @@ class ShardedSimulator:
             boundary = min(
                 next_fault, next_open, next_sample, next_exchange, duration
             )
+            sampled = boundary == next_sample
             drain = (
                 boundary >= duration
                 or boundary == next_fault
                 or boundary == next_open
+                # The rebalancer needs quiescence at every observed
+                # boundary: drained counters replay to the sequential
+                # executor's exact metrics, so the drift detector sees
+                # byte-identical snapshots on either data plane.
+                or (sampled and rebalancer is not None)
             )
-            sampled = boundary == next_sample
             pending = self._step_all(boundary, pending)
             if drain:
                 while pending:
                     pending = self._step_all(boundary, pending)
             if boundary >= duration:
                 break
+            observed = (
+                sampled or boundary == next_fault or boundary == next_open
+            )
             while sample_index < len(samples) and samples[sample_index] <= boundary:
                 sample_index += 1
             while (
@@ -829,8 +863,16 @@ class ShardedSimulator:
                 and exchanges[exchange_index] <= boundary
             ):
                 exchange_index += 1
-            if recorder.enabled and (drain or sampled):
-                self._emit_cell_epochs(boundary)
+            snapshot = None
+            if observing and (drain or sampled):
+                states = self._gather(("state",))
+                if recorder.enabled:
+                    self._emit_cell_epochs(boundary, states)
+                # Pure exchange boundaries have no sequential analogue,
+                # so the global epoch series skips them — the detector
+                # must see the exact sequence the sequential run emits.
+                if rebalancer is not None and observed:
+                    snapshot = self._emit_global_epoch(boundary, states)
             # Recovery completions first, then faults — mirroring the
             # sequential boundary order exactly.
             while opens and opens[0][0] <= boundary:
@@ -843,6 +885,11 @@ class ShardedSimulator:
                 if gate is not None and gate[1] < duration:
                     heapq.heappush(opens, (gate[1], sequence, gate[0]))
                     sequence += 1
+            # The rebalancer observes after the boundary's faults, as in
+            # the sequential executor: a migration adapts the
+            # post-repair plan instead of one a fault just tore up.
+            if rebalancer is not None and snapshot is not None:
+                self._apply_migration(snapshot)
 
         states = self._gather(("finish",))
         metrics = self._merge(states)
@@ -920,6 +967,28 @@ class ShardedSimulator:
         gate_open = recovery_s <= 0.0
         self._reconcile_cells(gate_id, gate_open)
         return None if gate_open else (gate_id, event.time + recovery_s)
+
+    def _apply_migration(self, snapshot: Any) -> None:
+        """Offer one global epoch snapshot to the rebalancer and apply
+        its moves across all cells.
+
+        The control plane rewrites the deployment (tear down +
+        re-register, verified pre-flight); every cell then reconciles
+        against the rewritten plan through the same diff churn repair
+        ships, and :meth:`_assign_cells` re-certifies the shard plan
+        for the migrated topology.  The delivery gate is *open*: the
+        barrier is drained, so the rewrite is make-before-break and
+        nothing is lost or duplicated.
+        """
+        report = self.rebalancer.observe_epoch(snapshot)  # type: ignore[attr-defined]
+        if report is None:
+            return
+        self._migrations_applied += 1
+        if self.recorder.enabled:
+            self.recorder.inc("exec.migrations_applied")
+        gate_id = self._next_gate_id
+        self._next_gate_id += 1
+        self._reconcile_cells(gate_id, gate_open=True)
 
     def _fresh_plan(self) -> Optional["ShardPlan"]:
         if self.replan is not None:
@@ -1160,6 +1229,8 @@ class ShardedSimulator:
             queries_lost=sum(
                 1 for name in self._records if name not in self.deployment.queries
             ),
+            migrations_applied=self._migrations_applied,
+            migration_downtime_epochs=self._migration_downtime_epochs,
         )
 
     def _replay_capture(self, states: Sequence[Dict[str, Any]]) -> None:
@@ -1222,6 +1293,10 @@ class ShardedSimulator:
                 if self._query_cell[name] == cell
                 and name not in self.deployment.queries
             ),
+            migrations_applied=self._migrations_applied if cell == 0 else 0,
+            migration_downtime_epochs=(
+                self._migration_downtime_epochs if cell == 0 else 0
+            ),
         )
 
     def _emit_cell_epoch(
@@ -1250,11 +1325,56 @@ class ShardedSimulator:
         self._cell_last_metrics[cell] = metrics
         self._cell_last_totals[cell] = totals
 
-    def _emit_cell_epochs(self, t_end: float) -> None:
-        states = self._gather(("state",))
+    def _emit_cell_epochs(
+        self, t_end: float, states: Sequence[Dict[str, Any]]
+    ) -> None:
         merged = self._merged_counters(states)
         for cell, state in enumerate(states):
             self._emit_cell_epoch(cell, t_end, state, merged)
+
+    def _emit_global_epoch(
+        self, t_end: float, states: Sequence[Dict[str, Any]]
+    ) -> Any:
+        """The whole-deployment epoch snapshot the rebalancer consumes.
+
+        Built by merging the drained per-cell counters through the
+        sequential replay, so every field derived from counters (peer
+        CPU%, link kbps, item counts — all the drift detector reads)
+        equals the sequential executor's
+        :meth:`StreamSimulator._emit_epoch` snapshot bit for bit;
+        only ``inflight_peak`` is approximated as the max over cell
+        window peaks (cells peak at different instants).
+        Not handed to the recorder: traced sharded runs record
+        per-cell epochs, and a duplicate global series would change
+        their export.  Returns ``None`` at a coincident boundary,
+        exactly like the sequential emitter.
+        """
+        if t_end <= self._epoch_start and self._epoch_index > 0:
+            return None  # coincident boundaries: nothing elapsed
+        metrics = self._merge(states)
+        totals: Dict[str, int] = {}
+        for state in states:
+            for name, inputs in state["operator_totals"].items():
+                totals[name] = totals.get(name, 0) + inputs
+        snapshot = snapshot_delta(
+            self._epoch_index,
+            self._epoch_start,
+            t_end,
+            metrics,
+            self._last_metrics,
+            self.net,
+            totals,
+            self._last_totals,
+            inflight_items=sum(state["inflight"] for state in states),
+            inflight_peak=max(
+                (state["window_peak"] for state in states), default=0
+            ),
+        )
+        self._epoch_index += 1
+        self._epoch_start = t_end
+        self._last_metrics = metrics
+        self._last_totals = totals
+        return snapshot
 
     def _emit_final_epochs(self, states: Sequence[Dict[str, Any]]) -> None:
         merged = self._merged_counters(states)

@@ -24,7 +24,8 @@ baseline; CI enforces it).
 """
 
 from .recorder import NULL_RECORDER, NullRecorder, Recorder, Span, default_recorder
-from .timeseries import EpochSnapshot, snapshot_delta
+from .timeseries import EpochSnapshot, snapshot_delta, sort_epochs
+from .drift import DriftAlert, DriftConfig, DriftDetector
 from .export import (
     chrome_trace,
     load_jsonl,
@@ -34,6 +35,9 @@ from .export import (
 )
 
 __all__ = [
+    "DriftAlert",
+    "DriftConfig",
+    "DriftDetector",
     "EpochSnapshot",
     "NULL_RECORDER",
     "NullRecorder",
@@ -44,6 +48,7 @@ __all__ = [
     "load_jsonl",
     "prometheus_text",
     "snapshot_delta",
+    "sort_epochs",
     "write_chrome_trace",
     "write_jsonl",
 ]

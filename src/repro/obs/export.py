@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import IO, Any, Dict, List, Optional
 
 from .recorder import Recorder
-from .timeseries import EpochSnapshot
+from .timeseries import EpochSnapshot, sort_epochs
 
 __all__ = [
     "RunLog",
@@ -82,7 +82,10 @@ def _write_jsonl(
         emit({"type": "span", **span.to_dict()})
     for event in recorder.events:
         emit({"type": "event", **event})
-    for epoch in recorder.epochs:
+    # Canonical (index, shard) order: the sharded executor's per-cell
+    # series arrive interleaved by the gather loop, and the exported
+    # log must not depend on that arrival order.
+    for epoch in sort_epochs(recorder.epochs):
         emit({"type": "epoch", **epoch.to_dict()})
     for name in sorted(recorder.counters):
         emit({"type": "counter", "name": name, "value": recorder.counters[name]})

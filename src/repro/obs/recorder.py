@@ -46,6 +46,27 @@ __all__ = [
 #: runs the tier-1 suite with tracing enabled).
 TRACE_ENV_VAR = "REPRO_OBS_TRACE"
 
+#: Environment variable pinning :attr:`Recorder.created_unix` to a fixed
+#: epoch timestamp.  Without it every exported JSONL run log embeds the
+#: wall clock at recorder construction, so ``python -m repro.obs diff``
+#: on two otherwise identical runs always reports a meta difference.
+#: Tests and CI set it (typically to ``0``) to make run logs
+#: byte-stable.
+EPOCH_ENV_VAR = "REPRO_OBS_EPOCH"
+
+
+def _created_unix() -> float:
+    """Wall-clock creation stamp, honoring the ``REPRO_OBS_EPOCH`` pin."""
+    pinned = os.environ.get(EPOCH_ENV_VAR)
+    if pinned is None or pinned == "":
+        return time.time()
+    try:
+        return float(pinned)
+    except ValueError:
+        raise ValueError(
+            f"{EPOCH_ENV_VAR} must be a unix timestamp (float), got {pinned!r}"
+        ) from None
+
 #: Geometric bucket ladder shared by every histogram: wide enough for
 #: seconds-scale latencies down to sub-microsecond operator batches.
 HISTOGRAM_BUCKETS = tuple(10.0**e for e in range(-7, 3))
@@ -210,7 +231,7 @@ class Recorder:
     enabled = True
 
     def __init__(self) -> None:
-        self.created_unix = time.time()
+        self.created_unix = _created_unix()
         self._t0 = time.perf_counter()
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}

@@ -18,13 +18,13 @@ plottable without re-loading the topology.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - avoid a cycle with repro.engine
     from ..engine.metrics import RunMetrics
     from ..network.topology import Network
 
-__all__ = ["EpochSnapshot", "snapshot_delta"]
+__all__ = ["EpochSnapshot", "snapshot_delta", "sort_epochs"]
 
 
 @dataclass
@@ -102,6 +102,24 @@ class EpochSnapshot:
     def from_dict(cls, data: Dict[str, Any]) -> "EpochSnapshot":
         known = {name for name in cls.__dataclass_fields__}
         return cls(**{key: value for key, value in data.items() if key in known})
+
+
+def sort_epochs(epochs: Iterable[EpochSnapshot]) -> List[EpochSnapshot]:
+    """Canonical ``(epoch index, shard)`` ordering of a snapshot series.
+
+    The sharded executor emits one interleaved series per worker cell;
+    recorder arrival order there is an artifact of the gather loop, not
+    a contract.  Exporters sort through here so a traced parallel run
+    log diffs clean against the inline run of the same partition.  The
+    sequential executor's single series (``shard is None``, sorted
+    before any cell) is already in this order, so sorting is a no-op
+    for it.  The sort is stable: snapshots with equal keys keep their
+    arrival order.
+    """
+    return sorted(
+        epochs,
+        key=lambda s: (s.index, -1 if s.shard is None else s.shard),
+    )
 
 
 def _num_delta(

@@ -13,6 +13,7 @@ from .subscribe import RegistrationResult, Subscriber
 from .system import StreamGlobe
 from .deregister import Deregistrar, DeregistrationError, live_stream_ids
 from .explain import explain_deployment, explain_registration
+from .rebalance import HotPeerCostModel, MigrationReport, Rebalancer
 from .repair import PlanRepairer, RepairReport
 from .export import deployment_to_dict, deployment_to_json
 from .validate import DeploymentInvariantError, check_deployment, validate_deployment
@@ -21,11 +22,14 @@ from .widening import WideningAction, WideningPlanner, widen_content
 __all__ = [
     "Deployment",
     "EvaluationPlan",
+    "HotPeerCostModel",
     "InputPlan",
     "InstalledStream",
+    "MigrationReport",
     "PlanRepairer",
     "Planner",
     "PlanningError",
+    "Rebalancer",
     "RegisteredQuery",
     "RepairReport",
     "RegistrationResult",

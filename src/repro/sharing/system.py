@@ -526,6 +526,7 @@ class StreamGlobe:
         faults=None,
         capture=None,
         workers: Optional[int] = None,
+        rebalancer=None,
     ) -> RunMetrics:
         """Execute the deployed network for ``duration`` virtual seconds.
 
@@ -551,6 +552,14 @@ class StreamGlobe:
         ``REPRO_PARALLEL`` environment variable (worker count; unset
         or ``1`` means sequential); ``REPRO_PARALLEL_MODE`` picks the
         backend (``auto``/``process``/``inline``).
+
+        ``rebalancer`` — an optional
+        :class:`~repro.sharing.rebalance.Rebalancer` (constructed over
+        *this* system).  The executor feeds it the per-epoch time
+        series; on sustained load drift it migrates affected plans live
+        at a quiescent epoch barrier, each migration re-running the
+        verified pre-flight (``verify=True``) and, on the sharded
+        executor, re-certifying the shard plan exactly like churn.
         """
         self._preflight("before execution")
         generators = {
@@ -584,6 +593,7 @@ class StreamGlobe:
                 capture=capture,
                 recorder=self.recorder,
                 mode=os.environ.get("REPRO_PARALLEL_MODE", "auto"),
+                rebalancer=rebalancer,
             )
         else:
             simulator = StreamSimulator(
@@ -596,6 +606,7 @@ class StreamGlobe:
                 repair=repair,
                 capture=capture,
                 recorder=self.recorder,
+                rebalancer=rebalancer,
             )
         self.last_simulator = simulator
         metrics = simulator.run()

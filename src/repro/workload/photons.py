@@ -90,14 +90,61 @@ class PhotonStreamConfig:
     energy_scale: float = 0.8
     #: Jitter of det_time increments around the mean 1/frequency.
     time_jitter: float = 0.4
+    #: Piecewise-constant rate drift: ``(start_time, frequency)`` steps
+    #: in ascending virtual time.  Empty keeps ``frequency`` for the
+    #: whole run; a step at time 0 overrides it from the start.  Drives
+    #: ``scenario_drift`` — the *registered* (catalog) frequency stays
+    #: the base ``frequency``, so a rate step is genuine model drift
+    #: the planner did not see.
+    rate_profile: Tuple[Tuple[float, float], ...] = ()
+    #: Skew rotation: ``(start_time, hot_spots)`` steps replacing the
+    #: active hot-spot mixture from that virtual time on (ascending).
+    hot_spot_schedule: Tuple[Tuple[float, Tuple[HotSpot, ...]], ...] = ()
     schema: Schema = field(default_factory=lambda: PHOTON_SCHEMA)
 
     def __post_init__(self) -> None:
         if self.frequency <= 0:
             raise ValueError("frequency must be positive")
-        total_weight = sum(spot.weight for spot in self.hot_spots)
+        self._check_spots(self.hot_spots)
+        last_start = float("-inf")
+        for start, frequency in self.rate_profile:
+            if frequency <= 0:
+                raise ValueError("rate_profile frequencies must be positive")
+            if start <= last_start:
+                raise ValueError("rate_profile must ascend in start time")
+            last_start = start
+        last_start = float("-inf")
+        for start, spots in self.hot_spot_schedule:
+            self._check_spots(spots)
+            if start <= last_start:
+                raise ValueError("hot_spot_schedule must ascend in start time")
+            last_start = start
+
+    @staticmethod
+    def _check_spots(spots: Tuple[HotSpot, ...]) -> None:
+        total_weight = sum(spot.weight for spot in spots)
         if total_weight > 1.0:
             raise ValueError("hot spot weights must sum to at most 1")
+
+    def frequency_at(self, time: float) -> float:
+        """The active photon rate at virtual ``time``."""
+        frequency = self.frequency
+        for start, stepped in self.rate_profile:
+            if time >= start:
+                frequency = stepped
+            else:
+                break
+        return frequency
+
+    def hot_spots_at(self, time: float) -> Tuple[HotSpot, ...]:
+        """The active hot-spot mixture at virtual ``time``."""
+        spots = self.hot_spots
+        for start, stepped in self.hot_spot_schedule:
+            if time >= start:
+                spots = stepped
+            else:
+                break
+        return spots
 
 
 class PhotonGenerator:
@@ -133,7 +180,7 @@ class PhotonGenerator:
         rng = self._rng
         cfg = self.config
 
-        mean_step = 1.0 / cfg.frequency
+        mean_step = 1.0 / cfg.frequency_at(self._clock)
         jitter = cfg.time_jitter
         step = mean_step * (1.0 + rng.uniform(-jitter, jitter))
         self._clock += max(step, mean_step * 0.01)
@@ -160,7 +207,7 @@ class PhotonGenerator:
         strip = self.config.strip
         roll = rng.random()
         cumulative = 0.0
-        for spot in self.config.hot_spots:
+        for spot in self.config.hot_spots_at(self._clock):
             cumulative += spot.weight
             if roll < cumulative:
                 for _ in range(16):

@@ -228,6 +228,81 @@ def scenario_churn_hotspots(
     )
 
 
+def scenario_drift(
+    rows: int = 3,
+    cols: int = 3,
+    query_count: int = 12,
+    seed: int = 20060331,
+    duration: float = 30.0,
+    rate_factor: float = 4.0,
+) -> Scenario:
+    """A grid scenario whose source rate jumps mid-run (bench PR8).
+
+    The photon stream starts at its registered 100 items/s and steps to
+    ``rate_factor`` times that at ``duration / 3`` — the registered
+    catalog keeps advertising the base rate, so the planner's cost
+    model is genuinely wrong for the last two thirds of the run.  A
+    static plan keeps grinding the originally cheapest peers; the
+    adaptive rebalancer sees the sustained CPU% surge in the epoch
+    series and migrates the affected subscriptions off the hot
+    peers.  No faults: the load shift alone drives the churn.
+    """
+    base = scenario_grid(rows, cols, query_count, seed=seed, duration=duration)
+    config = PhotonStreamConfig(
+        seed=seed,
+        frequency=100.0,
+        rate_profile=((duration / 3.0, 100.0 * rate_factor),),
+    )
+    return Scenario(
+        name=f"drift-{rows}x{cols}",
+        network_factory=base.network_factory,
+        sources=[SourceSpec("photons", "T0", 100.0, config)],
+        queries=base.queries,
+        duration=duration,
+    )
+
+
+def scenario_hotspot_shift(
+    rows: int = 3,
+    cols: int = 4,
+    query_count: int = 24,
+    seed: int = 20060332,
+    duration: float = 40.0,
+) -> Scenario:
+    """A sky survey whose hot spots rotate mid-run (bench PR8).
+
+    The stream starts concentrated on one survey field and shifts to a
+    disjoint field at ``duration / 2`` — selection-heavy subscriptions
+    that were nearly idle suddenly match most items and vice versa, so
+    the per-peer load distribution pivots without any change in the
+    total rate.  Combined with a ``rate_profile`` step this is the
+    hardest drift the rebalancer handles: both *where* and *how much*.
+    """
+    base = scenario_grid(rows, cols, query_count, seed=seed, duration=duration)
+    early = (
+        HotSpot(ra=150.0, dec=2.0, sigma=2.0, weight=0.35, mean_energy=1.4),
+        HotSpot(ra=186.0, dec=12.0, sigma=3.5, weight=0.20, mean_energy=0.9),
+    )
+    late = (
+        HotSpot(ra=210.0, dec=-5.0, sigma=1.2, weight=0.40, mean_energy=2.1),
+        HotSpot(ra=112.0, dec=-33.0, sigma=3.0, weight=0.25, mean_energy=1.1),
+    )
+    config = PhotonStreamConfig(
+        seed=seed,
+        frequency=100.0,
+        hot_spots=early,
+        hot_spot_schedule=((duration / 2.0, late),),
+        rate_profile=((duration / 2.0, 250.0),),
+    )
+    return Scenario(
+        name=f"hotspot-shift-{rows}x{cols}",
+        network_factory=base.network_factory,
+        sources=[SourceSpec("photons", "T0", 100.0, config)],
+        queries=base.queries,
+        duration=duration,
+    )
+
+
 def scenario_two(seed: int = 20060327, query_count: int = 100) -> Scenario:
     """16 super-peers (4×4 grid), 2 data streams, 100 queries (Fig. 7)."""
     first = PhotonStreamConfig(seed=seed, frequency=100.0)

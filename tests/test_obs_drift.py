@@ -1,0 +1,115 @@
+"""Drift detector unit tests: thresholds, hysteresis, sustain, cooldown."""
+
+import pytest
+
+from repro.obs import DriftConfig, DriftDetector, EpochSnapshot
+
+
+def _snapshot(index, cpu_by_peer):
+    return EpochSnapshot(
+        index=index,
+        t_start=float(index),
+        t_end=float(index + 1),
+        peer_cpu_percent=dict(cpu_by_peer),
+    )
+
+
+def _feed(detector, series):
+    """Feed per-epoch CPU maps; return the epoch indices that alerted."""
+    fired = []
+    for index, cpu_by_peer in enumerate(series):
+        if detector.observe(_snapshot(index, cpu_by_peer)):
+            fired.append(index)
+    return fired
+
+
+class TestDriftConfig:
+    def test_defaults_are_valid(self):
+        config = DriftConfig()
+        assert config.clear_threshold < config.cpu_threshold
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cpu_threshold": 0.0},
+            {"clear_threshold": -1.0},
+            {"cpu_threshold": 50.0, "clear_threshold": 50.0},
+            {"window": 0},
+            {"sustain": 0},
+            {"cooldown": -1},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DriftConfig(**kwargs)
+
+
+class TestDriftDetector:
+    CONFIG = DriftConfig(
+        cpu_threshold=50.0, clear_threshold=20.0, window=2, sustain=2, cooldown=3
+    )
+
+    def test_sustained_breach_alerts_once(self):
+        detector = DriftDetector(self.CONFIG)
+        # Window means: 10, 40, 70, 90 — breaches at epochs 2 and 3,
+        # so sustain=2 fires exactly at epoch 3.
+        fired = _feed(detector, [{"SP0": 10}, {"SP0": 70}, {"SP0": 70}, {"SP0": 110}])
+        assert fired == [3]
+        alert = detector.alerts[0]
+        assert alert.epoch_index == 3
+        assert alert.peer_names == ("SP0",)
+
+    def test_single_spike_does_not_alert(self):
+        detector = DriftDetector(self.CONFIG)
+        # A one-epoch burst of 70% (instantaneously over threshold) is
+        # absorbed by the window=2 mean (40, 37.5): never breaches.
+        assert _feed(detector, [{"SP0": 10}, {"SP0": 70}, {"SP0": 5}, {"SP0": 5}]) == []
+
+    def test_hysteresis_holds_streak_between_thresholds(self):
+        detector = DriftDetector(self.CONFIG)
+        # Mean dips below cpu_threshold but stays above clear_threshold:
+        # the streak holds (is not reset) and the next breach completes
+        # the sustain count.
+        series = [{"SP0": 60}, {"SP0": 60}, {"SP0": 20}, {"SP0": 100}]
+        # means: 60 (breach, streak 1), 60 (breach, streak 2 -> alert) ...
+        fired = _feed(detector, series)
+        assert fired[0] == 1
+
+    def test_clear_threshold_resets_streak(self):
+        detector = DriftDetector(self.CONFIG)
+        # A mean below clear_threshold zeroes the streak, so two
+        # non-consecutive breaches never alert.
+        series = [
+            {"SP0": 120},  # mean 120: streak 1
+            {"SP0": -100},  # mean 10 < clear: reset
+            {"SP0": 120},  # mean 10: below
+        ]
+        assert _feed(detector, series) == []
+
+    def test_cooldown_suppresses_repeat_alerts(self):
+        detector = DriftDetector(self.CONFIG)
+        hot = {"SP0": 100}
+        fired = _feed(detector, [hot] * 10)
+        assert fired[0] == 1
+        # cooldown=3 epochs pass alert-free, then sustain must rebuild.
+        assert all(b - a >= self.CONFIG.cooldown + self.CONFIG.sustain
+                   for a, b in zip(fired, fired[1:]))
+        assert len(fired) >= 2
+
+    def test_hot_peers_sorted_by_severity_then_name(self):
+        detector = DriftDetector(
+            DriftConfig(cpu_threshold=50.0, clear_threshold=20.0,
+                        window=1, sustain=1, cooldown=0)
+        )
+        alerts = detector.observe(
+            _snapshot(0, {"SP2": 80.0, "SP0": 95.0, "SP1": 80.0})
+        )
+        assert len(alerts) == 1
+        assert alerts[0].peer_names == ("SP0", "SP1", "SP2")
+
+    def test_independent_peer_states(self):
+        detector = DriftDetector(self.CONFIG)
+        # SP1 ramps while SP0 idles; only SP1 alerts.
+        series = [{"SP0": 5, "SP1": 90}, {"SP0": 5, "SP1": 90}]
+        _feed(detector, series)
+        assert [a.peer_names for a in detector.alerts] == [("SP1",)]

@@ -1,9 +1,16 @@
 """Unit tests for the instrumentation core (repro.obs.recorder)."""
 
+import time
+
 import pytest
 
 from repro.obs import NULL_RECORDER, NullRecorder, Recorder, default_recorder
-from repro.obs.recorder import HISTOGRAM_BUCKETS, TRACE_ENV_VAR, Histogram
+from repro.obs.recorder import (
+    EPOCH_ENV_VAR,
+    HISTOGRAM_BUCKETS,
+    TRACE_ENV_VAR,
+    Histogram,
+)
 from repro.obs.timeseries import EpochSnapshot
 
 
@@ -136,3 +143,42 @@ class TestDefaultRecorder:
         first, second = default_recorder(), default_recorder()
         assert first.enabled and second.enabled
         assert first is not second  # per-system ownership
+
+
+class TestEpochPin:
+    """Satellite (PR 8): ``REPRO_OBS_EPOCH`` pins ``created_unix`` so
+    exports diff byte-stable across runs (tests and CI set it to 0)."""
+
+    def test_unset_uses_wall_clock(self, monkeypatch):
+        monkeypatch.delenv(EPOCH_ENV_VAR, raising=False)
+        before = time.time()
+        recorder = Recorder()
+        assert before <= recorder.created_unix <= time.time()
+
+    def test_pinned_value_is_used_verbatim(self, monkeypatch):
+        monkeypatch.setenv(EPOCH_ENV_VAR, "0")
+        assert Recorder().created_unix == 0.0
+        monkeypatch.setenv(EPOCH_ENV_VAR, "1234.5")
+        assert Recorder().created_unix == 1234.5
+
+    def test_empty_value_falls_back_to_wall_clock(self, monkeypatch):
+        monkeypatch.setenv(EPOCH_ENV_VAR, "")
+        assert Recorder().created_unix > 1_000_000.0
+
+    def test_garbage_value_raises(self, monkeypatch):
+        monkeypatch.setenv(EPOCH_ENV_VAR, "yesterday")
+        with pytest.raises(ValueError, match=EPOCH_ENV_VAR):
+            Recorder()
+
+    def test_pin_makes_exports_byte_stable(self, monkeypatch, tmp_path):
+        from repro.obs import write_jsonl
+
+        monkeypatch.setenv(EPOCH_ENV_VAR, "0")
+        paths = []
+        for run in range(2):
+            recorder = Recorder()
+            recorder.inc("cache.hits", 3)
+            path = tmp_path / f"run{run}.jsonl"
+            write_jsonl(recorder, str(path))
+            paths.append(path.read_bytes())
+        assert paths[0] == paths[1]
