@@ -14,6 +14,12 @@ Usage::
     python -m repro.bench.micro --check BENCH_PR2.json
         # regression gate: fail if streaming items/s drops more than
         # --tolerance (default 30%) below the committed baseline
+    python -m repro.bench.micro --columnar --out BENCH_PR9.json \
+        --min-columnar-speedup 2.0
+        # A/B the tree vs columnar (REPRO_COLUMNAR) streaming executor:
+        # verifies RunMetrics identity, records columnar_speedup, and
+        # gates the speedup floor (identity is always enforced; the
+        # speed gate self-disarms on single-core hosts)
 
 Each scenario entry also records ``cache_hit_rate`` — the
 control-plane cache snapshot (route / rate / match) taken right after
@@ -29,12 +35,15 @@ revision), so the report directly documents the speedup.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import gc
 import json
+import os
 import sys
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from ..engine.columnar import ENV_VAR as COLUMNAR_ENV
 from ..engine.executor import MaterializingSimulator, StreamSimulator
 from ..workload.scenarios import Scenario, scenario_one, scenario_two
 from .harness import run_scenario
@@ -60,8 +69,31 @@ SCENARIOS: Dict[str, Callable[[], Scenario]] = {
 }
 
 
+@contextlib.contextmanager
+def _columnar_env(mode: Optional[str]) -> Iterator[None]:
+    """Pin ``REPRO_COLUMNAR`` for one measurement (restore after)."""
+    if mode is None:
+        yield
+        return
+    previous = os.environ.get(COLUMNAR_ENV)
+    os.environ[COLUMNAR_ENV] = mode
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ[COLUMNAR_ENV]
+        else:
+            os.environ[COLUMNAR_ENV] = previous
+
+
 def _measure(
-    simulator_cls, system, duration: float, repeats: int, workers: int = 0
+    simulator_cls,
+    system,
+    duration: float,
+    repeats: int,
+    workers: int = 0,
+    columnar: Optional[str] = None,
+    keep_metrics: bool = False,
 ) -> Dict[str, Any]:
     """Best-of-``repeats`` execution of one executor on one deployment.
 
@@ -78,32 +110,36 @@ def _measure(
             name: source.generator_factory()
             for name, source in system.sources.items()
         }
-        if workers > 1:
-            from ..engine.parallel import ShardedSimulator
+        # The env pin covers construction too: the executor resolves
+        # REPRO_COLUMNAR once per simulator.
+        with _columnar_env(columnar):
+            if workers > 1:
+                from ..engine.parallel import ShardedSimulator
 
-            simulator = ShardedSimulator(
-                system.net,
-                system.deployment,
-                generators,
-                duration,
-                plan=system.shard_plan(),
-                workers=workers,
-            )
-        else:
-            simulator = simulator_cls(
-                system.net, system.deployment, generators, duration
-            )
-        # Collect leftovers of previous runs, then keep the collector out
-        # of the timed region — generational GC passes triggered by a
-        # *previous* executor's garbage would otherwise skew the sample.
-        gc.collect()
-        gc.disable()
-        try:
-            start = time.perf_counter()
-            metrics = simulator.run()
-            wall = time.perf_counter() - start
-        finally:
-            gc.enable()
+                simulator = ShardedSimulator(
+                    system.net,
+                    system.deployment,
+                    generators,
+                    duration,
+                    plan=system.shard_plan(),
+                    workers=workers,
+                )
+            else:
+                simulator = simulator_cls(
+                    system.net, system.deployment, generators, duration
+                )
+            # Collect leftovers of previous runs, then keep the collector
+            # out of the timed region — generational GC passes triggered
+            # by a *previous* executor's garbage would otherwise skew the
+            # sample.
+            gc.collect()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                metrics = simulator.run()
+                wall = time.perf_counter() - start
+            finally:
+                gc.enable()
         items = sum(metrics.items_generated.values())
         sample: Dict[str, Any] = {
             "wall_s": round(wall, 4),
@@ -112,6 +148,8 @@ def _measure(
             "mbit": round(metrics.total_mbit(), 4),
             "peak_live_items": simulator.peak_live_items,
         }
+        if keep_metrics:
+            sample["metrics"] = metrics
         if workers > 1:
             sample["peak_live_items_per_shard"] = {
                 str(cell): peak
@@ -128,11 +166,15 @@ def _measure(
 
 
 def run_benchmark(
-    names: List[str], repeats: int = 3, parallel_workers: int = 0
+    names: List[str],
+    repeats: int = 3,
+    parallel_workers: int = 0,
+    columnar: bool = False,
 ) -> Dict[str, Any]:
     report: Dict[str, Any] = {
         "benchmark": "repro.bench.micro",
         "pre_pr": PRE_PR_BASELINE,
+        "cpu_count": os.cpu_count() or 1,
         "scenarios": {},
     }
     for name in names:
@@ -157,6 +199,35 @@ def run_benchmark(
             "materializing": materializing,
             "streaming_half_duration_peak": half["peak_live_items"],
         }
+        if columnar:
+            # Tree vs columnar A/B on the same deployment: identity is
+            # checked on the full RunMetrics, speedup on items/s.
+            tree = _measure(
+                StreamSimulator,
+                system,
+                scenario.duration,
+                repeats,
+                columnar="off",
+                keep_metrics=True,
+            )
+            fast = _measure(
+                StreamSimulator,
+                system,
+                scenario.duration,
+                repeats,
+                columnar="on",
+                keep_metrics=True,
+            )
+            entry["columnar_identical"] = tree.pop("metrics") == fast.pop(
+                "metrics"
+            )
+            entry["streaming_tree"] = tree
+            entry["streaming_columnar"] = fast
+            entry["columnar_speedup"] = (
+                round(fast["items_per_s"] / tree["items_per_s"], 2)
+                if tree["items_per_s"]
+                else 0.0
+            )
         if parallel_workers > 1:
             entry["streaming_parallel"] = _measure(
                 StreamSimulator,
@@ -172,6 +243,37 @@ def run_benchmark(
             )
         report["scenarios"][name] = entry
     return report
+
+
+def check_columnar_gate(report: Dict[str, Any], min_speedup: float) -> int:
+    """CI gate for the columnar accelerator.
+
+    Metrics identity is a correctness property and is enforced
+    unconditionally; the speedup floor is a performance property and —
+    like the bench-parallel gate — self-disarms on starved hosts
+    (``cpu_count < 2``), where timing ratios are noise.
+    """
+    failures: List[str] = []
+    enforce_speed = report.get("cpu_count", 1) >= 2
+    if not enforce_speed:
+        print(
+            f"columnar speedup gate skipped (cpu_count="
+            f"{report.get('cpu_count')}); identity gate still enforced"
+        )
+    for name, entry in report["scenarios"].items():
+        if "columnar_identical" not in entry:
+            continue
+        if not entry["columnar_identical"]:
+            failures.append(f"{name}: columnar RunMetrics diverged from tree")
+        speedup = entry.get("columnar_speedup", 0.0)
+        if enforce_speed and speedup < min_speedup:
+            failures.append(
+                f"{name}: columnar speedup {speedup:.2f}x is below the "
+                f"{min_speedup:.2f}x floor"
+            )
+    for failure in failures:
+        print(f"GATE FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def check_regression(
@@ -230,6 +332,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(reports peak live items per shard, not summed)",
     )
     parser.add_argument(
+        "--columnar",
+        action="store_true",
+        help="also measure the streaming executor in tree (REPRO_COLUMNAR"
+        "=off) vs columnar (=on) mode, verify RunMetrics identity and "
+        "record the columnar_speedup per scenario",
+    )
+    parser.add_argument(
+        "--min-columnar-speedup",
+        type=float,
+        default=0.0,
+        metavar="X",
+        help="with --columnar: exit 1 when identity breaks, or (on >=2 "
+        "cores) when a scenario's columnar speedup falls below X",
+    )
+    parser.add_argument(
         "--check",
         metavar="BASELINE",
         help="compare against a committed baseline report; exit 1 on "
@@ -248,6 +365,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         names,
         repeats=options.repeats,
         parallel_workers=options.parallel_workers,
+        columnar=options.columnar,
     )
     with open(options.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -261,6 +379,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"materializing {materializing['items_per_s']:.1f} items/s "
             f"(peak {materializing['peak_live_items']})"
         )
+        if "columnar_speedup" in entry:
+            tree = entry["streaming_tree"]
+            fast = entry["streaming_columnar"]
+            ident = "identical" if entry["columnar_identical"] else "DIVERGED"
+            print(
+                f"{name}: columnar {fast['items_per_s']:.1f} items/s vs "
+                f"tree {tree['items_per_s']:.1f} items/s "
+                f"(x{entry['columnar_speedup']}) metrics {ident}"
+            )
         parallel = entry.get("streaming_parallel")
         if parallel:
             shards = ", ".join(
@@ -273,6 +400,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"(peak per shard {shards})"
             )
     print(f"report written to {options.out}")
+    if options.columnar and options.min_columnar_speedup > 0:
+        code = check_columnar_gate(report, options.min_columnar_speedup)
+        if code:
+            return code
     if options.check:
         return check_regression(report, options.check, options.tolerance)
     return 0

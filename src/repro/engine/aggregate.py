@@ -20,7 +20,7 @@ Operators:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..predicates import ZERO, PredicateGraph
 from ..properties import AggregationSpec, ReAggregationSpec
@@ -28,6 +28,9 @@ from ..xmlkit import Element, Path
 from .eval import rebase
 from .operators import EngineError, Operator
 from .window import SlidingWindower, WindowBatch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .columnar import ColumnBatch
 
 
 # ----------------------------------------------------------------------
@@ -176,6 +179,7 @@ class WindowAggregateOperator(Operator):
     """
 
     kind = "aggregation"
+    columnar = True
 
     def __init__(
         self, spec: AggregationSpec, item_path: Path, reorder_capacity: int = 0
@@ -219,6 +223,52 @@ class WindowAggregateOperator(Operator):
             for ordered_position, ordered_payload in self._reorder.add(position, payload):
                 batches.extend(self._windower.add(ordered_position, ordered_payload))
         return [w for w in map(self._emit, batches) if w is not None]
+
+    def process_columns(self, batch: "ColumnBatch") -> List[Element]:
+        """Columnar aggregation: gather the position/value columns once,
+        then run the identical sequential window folds.
+
+        The windower's float arithmetic is order-sensitive, so rows are
+        folded one by one in batch order — same calls, same state, same
+        emitted wire items as the tree path; only the per-row tree
+        navigation and float parsing are replaced by column reads.
+        Window state is shared with :meth:`process`, so columnar and
+        tree batches can interleave across fallback boundaries.
+        """
+        rows = batch.rows
+        values = batch.number_column(self._aggregated_steps)
+        count_kind = self.spec.window.kind == "count"
+        if not count_kind:
+            assert self._reference_steps is not None
+            positions = batch.number_column(self._reference_steps)
+            if positions is None:
+                return []  # reference path never resolves: every row skipped
+        out: List[Element] = []
+        nan = float("nan")
+        emit = self._emit
+        windower_add = self._windower.add
+        reorder = self._reorder
+        for i in rows:
+            if count_kind:
+                position = float(self._count)
+                self._count += 1
+            else:
+                reference = positions[i]
+                if reference is None:
+                    continue
+                position = reference
+            value = None if values is None else values[i]
+            payload = value if value is not None else nan
+            if reorder is None:
+                batches = windower_add(position, payload)
+            else:
+                batches = []
+                for ordered_position, ordered_payload in reorder.add(
+                    position, payload
+                ):
+                    batches.extend(windower_add(ordered_position, ordered_payload))
+            out.extend(w for w in map(emit, batches) if w is not None)
+        return out
 
     def flush(self) -> List[Element]:
         batches = []

@@ -73,6 +73,15 @@ from .accounting import (
     StreamCounters,
     replay_metrics,
 )
+from .columnar import (
+    Batch,
+    ColumnBatch,
+    DeliveryKernel,
+    batch_bytes,
+    columnar_mode,
+    columnar_stats,
+    encode_ingest,
+)
 from .fanout import PrefixStage, PrefixTree, _Gauge, group_pipelines
 from .metrics import RunMetrics
 from .pipeline import Pipeline
@@ -153,7 +162,7 @@ def interleave_round_robin(
 class _SingleDelivery:
     """Incremental post-processing of a single-input subscription."""
 
-    __slots__ = ("record", "restructurer", "inputs", "results", "capture")
+    __slots__ = ("record", "restructurer", "inputs", "results", "capture", "_kernel")
 
     def __init__(
         self,
@@ -165,11 +174,27 @@ class _SingleDelivery:
         self.inputs = 0
         self.results = 0
         self.capture = capture
+        #: Lazily built column count kernel (capture-free feeds only).
+        self._kernel: Optional[DeliveryKernel] = None
 
-    def feed(self, batch: Sequence[Element]) -> None:
+    def feed(self, batch: Batch) -> None:
         self.inputs += len(batch)
         build = self.restructurer.build
         capture = self.capture
+        if isinstance(batch, ColumnBatch):
+            if capture is None:
+                # Count-only delivery: the kernel counts restructured
+                # results per shape without building the trees; it
+                # vouches for exactness or returns None (then decode
+                # and take the per-item path below).
+                kernel = self._kernel
+                if kernel is None:
+                    kernel = self._kernel = DeliveryKernel(self.restructurer)
+                count = kernel.count(batch)
+                if count is not None:
+                    self.results += count
+                    return
+            batch = batch.decode()
         if capture is None:
             for item in batch:
                 self.results += len(build(item))
@@ -207,7 +232,11 @@ class _MultiDelivery:
         self.total_inputs = 0
         self.capture = capture
 
-    def feed(self, index: int, batch: Sequence[Element]) -> None:
+    def feed(self, index: int, batch: Batch) -> None:
+        if isinstance(batch, ColumnBatch):
+            # Combination interleaves whole buffered streams item by
+            # item — a genuine tree boundary.
+            batch = batch.decode()
         self.buffers[index].extend(batch)
         self.gauge.add(len(batch))
 
@@ -258,7 +287,7 @@ class _StreamNode:
         #: This stream's own stage path inside its parent's trie.
         self.stage_path: List[PrefixStage] = []
         #: Subscription consumers fed with this stream's items.
-        self.deliveries: List[Callable[[Sequence[Element]], None]] = []
+        self.deliveries: List[Callable[[Batch], None]] = []
         #: Parent items produced before this node attached (mid-run
         #: attachments duplicate only post-attach parent items).
         self.duplicate_base = 0
@@ -390,6 +419,9 @@ class StreamSimulator:
         self.epoch_samples = epoch_samples
         self.rebalancer = rebalancer
         self.peak_live_items = 0
+        #: ``REPRO_COLUMNAR`` resolved once per simulator (forked cell
+        #: runtimes inherit the environment, so shards agree).
+        self._columnar_mode = columnar_mode()
 
     # ------------------------------------------------------------------
     def run(self) -> RunMetrics:
@@ -426,6 +458,7 @@ class StreamSimulator:
         self._last_metrics: Optional[RunMetrics] = None
         self._last_operator_totals: Optional[Dict[str, int]] = None
         self._op_timer = self._make_op_timer() if recorder.enabled else None
+        columnar_base = columnar_stats() if recorder.enabled else None
 
         if self.schedule or recorder.enabled or self.rebalancer is not None:
             # Traced runs always take the epoch path: sources advance in
@@ -454,6 +487,12 @@ class StreamSimulator:
             self._emit_epoch(self.duration, metrics)
             recorder.set_gauge("exec.peak_live_items", gauge.peak)
             recorder.inc("exec.runs")
+            if columnar_base is not None:
+                # Process-wide counters: report this run's delta only.
+                for key, value in columnar_stats().items():
+                    delta = value - columnar_base[key]
+                    if delta:
+                        recorder.inc(f"columnar.{key}", delta)
         return metrics
 
     # ------------------------------------------------------------------
@@ -655,17 +694,17 @@ class StreamSimulator:
     @staticmethod
     def _multi_feeder(
         delivery: _MultiDelivery, index: int
-    ) -> Callable[[Sequence[Element]], None]:
-        def feed(batch: Sequence[Element]) -> None:
+    ) -> Callable[[Batch], None]:
+        def feed(batch: Batch) -> None:
             delivery.feed(index, batch)
 
         return feed
 
     @staticmethod
     def _gated(
-        gate: _Gate, feed: Callable[[Sequence[Element]], None]
-    ) -> Callable[[Sequence[Element]], None]:
-        def gated_feed(batch: Sequence[Element]) -> None:
+        gate: _Gate, feed: Callable[[Batch], None]
+    ) -> Callable[[Batch], None]:
+        def gated_feed(batch: Batch) -> None:
             if gate.open:
                 feed(batch)
             else:
@@ -854,7 +893,7 @@ class StreamSimulator:
             if not batch:
                 break
             produced += len(batch)
-            self._pump(node, batch, gauge)
+            self._pump(node, encode_ingest(batch, self._columnar_mode), gauge)
             if self.max_items is not None and produced >= self.max_items:
                 break
         self._produced[stream.stream_id] = produced
@@ -873,14 +912,12 @@ class StreamSimulator:
             self._source_items_lost += 1
         self._produced[stream_id] = produced
 
-    def _pump(
-        self, node: _StreamNode, batch: List[Element], gauge: _Gauge
-    ) -> None:
+    def _pump(self, node: _StreamNode, batch: Batch, gauge: _Gauge) -> None:
         """Consume one batch of ``node``'s items: account, deliver, fan out."""
         gauge.add(len(batch))
         node.produced_count += len(batch)
         if node.has_hops:
-            node.produced_bytes += sum(item.serialized_size() for item in batch)
+            node.produced_bytes += batch_bytes(batch)
         for feed in node.deliveries:
             feed(batch)
         for relay in node.relay_children:
@@ -889,7 +926,7 @@ class StreamSimulator:
             trie.evaluate(batch, self._emit, gauge, self._op_timer)
         gauge.sub(len(batch))
 
-    def _emit(self, stream_id: str, out: List[Element]) -> None:
+    def _emit(self, stream_id: str, out: Batch) -> None:
         self._pump(self._nodes[stream_id], out, self._gauge)
 
     # ------------------------------------------------------------------

@@ -24,6 +24,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..properties import OperatorSpec
 from ..xmlkit import Element, Path
+from .columnar import Batch, ColumnBatch, apply_operator
 from .operators import Operator, build_operator
 
 
@@ -127,16 +128,17 @@ class PrefixTree:
     # ------------------------------------------------------------------
     def evaluate(
         self,
-        batch: Sequence[Element],
-        emit: Callable[[str, List[Element]], None],
+        batch: Batch,
+        emit: Callable[[str, Batch], None],
         gauge: Optional[_Gauge] = None,
         timer: Optional[Callable[[PrefixStage, int, float], None]] = None,
     ) -> None:
         """Push one input batch through every stage exactly once.
 
         ``emit(stream_id, outputs)`` is invoked for every terminal
-        stream, with the outputs already frozen (size-pinned) for cheap
-        transport accounting.  Empty batches short-circuit without
+        stream, with tree outputs already frozen (size-pinned) for
+        cheap transport accounting; column-batch outputs keep their
+        size columns instead.  Empty batches short-circuit without
         touching operator state, matching per-stream pipelines which
         never call an operator on an empty batch.  ``timer``, when
         given, observes ``(stage, input_count, wall_seconds)`` per
@@ -148,23 +150,23 @@ class PrefixTree:
     def _evaluate(
         self,
         stage: PrefixStage,
-        batch: Sequence[Element],
-        emit: Callable[[str, List[Element]], None],
+        batch: Batch,
+        emit: Callable[[str, Batch], None],
         gauge: Optional[_Gauge],
         timer: Optional[Callable[[PrefixStage, int, float], None]] = None,
     ) -> None:
         if not batch:
             return
         stage.input_count += len(batch)
-        process = stage.operator.process
         if timer is None:
-            out = [produced for item in batch for produced in process(item)]
+            out = apply_operator(stage.operator, batch)
         else:
             start = perf_counter()
-            out = [produced for item in batch for produced in process(item)]
+            out = apply_operator(stage.operator, batch)
             timer(stage, len(batch), perf_counter() - start)
-        for produced in out:
-            produced.freeze()
+        if not isinstance(out, ColumnBatch):
+            for produced in out:
+                produced.freeze()
         if gauge is not None:
             gauge.add(len(out))
         for stream_id in stage.streams:

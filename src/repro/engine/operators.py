@@ -15,7 +15,7 @@ and measurement share one constant table.
 
 from __future__ import annotations
 
-from typing import List
+from typing import TYPE_CHECKING, List, Union
 
 from ..properties import (
     AggregationSpec,
@@ -29,14 +29,35 @@ from ..properties import (
 )
 from ..xmlkit import Element, Path
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .columnar import ColumnBatch
+
 
 class Operator:
     """Base push operator; subclasses set ``kind`` and override hooks."""
 
     kind: str = "abstract"
 
+    #: ``True`` when the subclass implements :meth:`process_columns`;
+    #: the trie/pipeline dispatch on this flag (one attribute read)
+    #: instead of ``hasattr`` per batch.  Operators without a kernel
+    #: receive decoded trees from the caller.
+    columnar: bool = False
+
     def process(self, item: Element) -> List[Element]:
         """Consume one item; return the produced items (possibly none)."""
+        raise NotImplementedError
+
+    def process_columns(
+        self, batch: "ColumnBatch"
+    ) -> Union[List[Element], "ColumnBatch"]:
+        """Consume a column batch (only when ``columnar`` is ``True``).
+
+        Must be observationally identical to calling :meth:`process`
+        on every decoded row in order — same outputs, same operator
+        state afterwards — so tree and columnar batches can interleave
+        freely on one operator instance (fallback boundaries).
+        """
         raise NotImplementedError
 
     def flush(self) -> List[Element]:

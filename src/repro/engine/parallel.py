@@ -53,6 +53,8 @@ from ..obs.recorder import NULL_RECORDER
 from ..obs.timeseries import snapshot_delta
 from ..xmlkit import Element
 from .accounting import DeliveryCounters, RetiredSnapshot, StreamCounters, replay_metrics
+from .columnar import Batch as EngineBatch
+from .columnar import batch_bytes, columnar_mode
 from .executor import (
     ExecutionError,
     ItemGenerator,
@@ -72,8 +74,11 @@ if TYPE_CHECKING:  # avoid runtime cycles with repro.sharing / repro.analysis
 
 __all__ = ["ShardedSimulator"]
 
-#: One exchanged unit: ``(stream_id, [items])`` in producer emission order.
-Batch = Tuple[str, List[Element]]
+#: One exchanged unit: ``(stream_id, items)`` in producer emission
+#: order; the payload is a plain item list or a pickle-stable
+#: :class:`~repro.engine.columnar.ColumnBatch` (which ships its decoded
+#: rows and re-encodes on arrival).
+Batch = Tuple[str, EngineBatch]
 
 
 def _strip_parent(stream: "InstalledStream") -> "InstalledStream":
@@ -145,6 +150,9 @@ class _CellRuntime(StreamSimulator):
         self.epoch_samples = 0
         self.peak_live_items = 0
         self._op_timer = None
+        # Workers re-resolve REPRO_COLUMNAR from their (inherited)
+        # environment, so every cell agrees with the parent's mode.
+        self._columnar_mode = columnar_mode()
 
         self._proxies = set(proxies)
         self._exports: Dict[str, Tuple[int, ...]] = dict(exports)
@@ -182,7 +190,7 @@ class _CellRuntime(StreamSimulator):
     # ------------------------------------------------------------------
     # Pump override: copy cut-edge traffic into the outbox
     # ------------------------------------------------------------------
-    def _pump(self, node: _StreamNode, batch: List[Element], gauge: _Gauge) -> None:
+    def _pump(self, node: _StreamNode, batch: EngineBatch, gauge: _Gauge) -> None:
         consumers = self._exports.get(node.stream.stream_id)
         if consumers:
             for consumer in consumers:
@@ -937,9 +945,7 @@ class ShardedSimulator:
                     self.exchange_pairs[pair] = self.exchange_pairs.get(
                         pair, 0
                     ) + len(batch)
-                    self.exchange_bytes += sum(
-                        item.serialized_size() for item in batch
-                    )
+                    self.exchange_bytes += batch_bytes(batch)
         return merged
 
     # ------------------------------------------------------------------

@@ -8,6 +8,14 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..properties import OperatorSpec
 from ..xmlkit import Element, Path
+from .columnar import (
+    AUTO_MIN_ROWS,
+    Batch,
+    ColumnBatch,
+    apply_operator,
+    columnar_mode,
+    encode_batch,
+)
 from .operators import Operator, build_operator
 from .restructure import Restructurer
 
@@ -76,7 +84,7 @@ class Pipeline:
 
     def process_batch(
         self,
-        items: Sequence[Element],
+        items: Batch,
         timer: Optional[Callable[[Operator, int, float], None]] = None,
     ) -> List[Element]:
         """Fold ``items`` through every stage.
@@ -85,20 +93,36 @@ class Pipeline:
         wall_seconds)`` per evaluated stage — same contract as the
         shared-prefix trie's timer; the disabled path is one ``None``
         check per stage.
+
+        When ``REPRO_COLUMNAR`` permits it and the batch is regular,
+        the fold runs over a :class:`ColumnBatch`; stages without a
+        columnar kernel see decoded trees, and the return value is
+        always a plain element list (decoded at the boundary), so the
+        public contract — outputs, per-stage ``input_counts`` — is
+        unchanged bit for bit.
         """
-        batch: List[Element] = list(items)
+        batch: Batch = list(items) if not isinstance(items, ColumnBatch) else items
+        if not isinstance(batch, ColumnBatch):
+            mode = columnar_mode()
+            if (
+                mode != "off"
+                and (mode == "on" or len(batch) >= AUTO_MIN_ROWS)
+                and any(operator.columnar for operator in self.operators)
+            ):
+                batch = encode_batch(batch)
         for index, operator in enumerate(self.operators):
             if not batch:
                 break
             self.input_counts[index] += len(batch)
-            process = operator.process
             if timer is None:
-                batch = [out for current in batch for out in process(current)]
+                batch = apply_operator(operator, batch)
             else:
                 inputs = len(batch)
                 start = perf_counter()
-                batch = [out for current in batch for out in process(current)]
+                batch = apply_operator(operator, batch)
                 timer(operator, inputs, perf_counter() - start)
+        if isinstance(batch, ColumnBatch):
+            return list(batch.decode())
         return batch
 
     def flush(self) -> List[Element]:

@@ -13,12 +13,15 @@ regular cadence.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generic, List, Optional, Tuple, TypeVar
+from typing import TYPE_CHECKING, Generic, List, Optional, Tuple, TypeVar
 
 from ..properties import WindowContentsSpec
 from ..xmlkit import Element, Path
 from .eval import rebase
 from .operators import EngineError, Operator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .columnar import ColumnBatch
 
 T = TypeVar("T")
 
@@ -138,6 +141,7 @@ class WindowContentsOperator(Operator):
     """
 
     kind = "window"
+    columnar = True
 
     def __init__(self, spec: WindowContentsSpec, item_path: Path) -> None:
         self.spec = spec
@@ -160,6 +164,34 @@ class WindowContentsOperator(Operator):
             return []
         batches = self._windower.add(position, item)
         return [self._emit(batch) for batch in batches]
+
+    def process_columns(self, batch: "ColumnBatch") -> List[Element]:
+        """Columnar window filling: positions come from the reference
+        column, payloads are the decoded items (the emitted ``<window>``
+        elements copy the items themselves, so trees are needed here
+        anyway).  Same sequential windower calls as :meth:`process`;
+        state is shared across tree/columnar batches."""
+        count_kind = self.spec.window.kind == "count"
+        if not count_kind:
+            assert self._reference_steps is not None
+            positions = batch.number_column(self._reference_steps)
+            if positions is None:
+                return []  # reference path never resolves: every row skipped
+        items = batch.decode()
+        out: List[Element] = []
+        windower_add = self._windower.add
+        emit = self._emit
+        for offset, i in enumerate(batch.rows):
+            if count_kind:
+                position = float(self._count)
+                self._count += 1
+            else:
+                reference = positions[i]
+                if reference is None:
+                    continue
+                position = reference
+            out.extend(map(emit, windower_add(position, items[offset])))
+        return out
 
     def flush(self) -> List[Element]:
         return [self._emit(batch) for batch in self._windower.flush()]

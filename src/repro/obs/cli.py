@@ -168,6 +168,19 @@ def _cache_table(counters: Dict[str, float]) -> str:
     return _table(["cache", "hits", "misses", "hit_rate", "invalidations"], rows)
 
 
+def _columnar_table(counters: Dict[str, float]) -> Optional[str]:
+    """Columnar-engine counter table, or ``None`` when the run never
+    touched the columnar path (tree-only runs print nothing)."""
+    rows = [
+        [name[len("columnar."):], int(value)]
+        for name, value in sorted(counters.items())
+        if name.startswith("columnar.")
+    ]
+    if not rows:
+        return None
+    return _table(["columnar", "count"], rows)
+
+
 def summarize(log: RunLog, out: Any = None) -> None:
     out = out or sys.stdout
     w = out.write
@@ -190,6 +203,11 @@ def summarize(log: RunLog, out: Any = None) -> None:
 
     w("\n== caches ==\n")
     w(_cache_table(log.counters) + "\n")
+
+    columnar = _columnar_table(log.counters)
+    if columnar is not None:
+        w("\n== columnar engine ==\n")
+        w(columnar + "\n")
 
     decisions = log.events_named("plan.decision")
     if decisions:

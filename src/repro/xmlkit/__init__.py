@@ -20,9 +20,13 @@ from .schema import PHOTON_SCHEMA, Schema, SchemaNode
 from .serializer import pretty, serialize
 from .diff import Difference, assert_elements_equal, diff_elements, first_difference
 from .transform import prune_to_paths
+from .columns import Shape, ShapeNode, shape_of
 
 __all__ = [
     "Difference",
+    "Shape",
+    "ShapeNode",
+    "shape_of",
     "Element",
     "element",
     "XmlError",
