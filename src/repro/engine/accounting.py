@@ -134,6 +134,7 @@ def replay_metrics(
     deliveries: Sequence[DeliveryCounters],
     faults_applied: int = 0,
     items_lost: int = 0,
+    items_lost_by_query: Optional[Dict[str, int]] = None,
     recovery_time_s: float = 0.0,
     queries_repaired: int = 0,
     queries_lost: int = 0,
@@ -195,6 +196,13 @@ def replay_metrics(
             metrics.count_delivery(record.name, delivery.results)
     metrics.faults_applied = faults_applied
     metrics.items_lost = items_lost
+    # Sorted so the insertion order is identical no matter which
+    # executor (or cell merge order) accumulated the dict.
+    metrics.items_lost_by_query = {
+        name: lost
+        for name, lost in sorted((items_lost_by_query or {}).items())
+        if lost
+    }
     metrics.recovery_time_s = recovery_time_s
     metrics.queries_repaired = queries_repaired
     metrics.queries_lost = queries_lost

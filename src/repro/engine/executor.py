@@ -64,6 +64,7 @@ from ..xmlkit import Element
 
 if TYPE_CHECKING:  # avoid a runtime cycle with repro.sharing
     from ..faults.schedule import FaultSchedule
+    from ..obs.slo import QuerySLO
     from ..sharing.plan import Deployment, InstalledStream, RegisteredQuery
 from ..obs.recorder import NULL_RECORDER
 from ..obs.timeseries import snapshot_delta
@@ -419,6 +420,9 @@ class StreamSimulator:
         self.epoch_samples = epoch_samples
         self.rebalancer = rebalancer
         self.peak_live_items = 0
+        #: Most recent per-query SLO records (refreshed at every epoch
+        #: boundary and at run end — the live ``/slo.json`` source).
+        self.last_query_slos: List["QuerySLO"] = []
         #: ``REPRO_COLUMNAR`` resolved once per simulator (forked cell
         #: runtimes inherit the environment, so shards agree).
         self._columnar_mode = columnar_mode()
@@ -451,6 +455,9 @@ class StreamSimulator:
         self._migrations_applied = 0
         self._migration_downtime_epochs = 0
         self._migration_gates: List[_Gate] = []
+        self._query_lost: Dict[str, int] = {}
+        self._query_migrations: Dict[str, int] = {}
+        self._backpressure_epochs = 0
 
         recorder = self.recorder
         self._epoch_index = 0
@@ -479,6 +486,7 @@ class StreamSimulator:
 
         self.peak_live_items = gauge.peak
         metrics = self._account(self._topological_streams(), nodes)
+        self.last_query_slos = self.query_slos()
         if recorder.enabled:
             # The final epoch is emitted after finish(): multi-input
             # subscriptions only restructure (and bill) their buffered
@@ -487,6 +495,12 @@ class StreamSimulator:
             self._emit_epoch(self.duration, metrics)
             recorder.set_gauge("exec.peak_live_items", gauge.peak)
             recorder.inc("exec.runs")
+            for slo in self.last_query_slos:
+                recorder.event("query.slo", **slo.to_dict())
+            for peer, work in sorted(metrics.peer_work.items()):
+                recorder.set_gauge(f"peer.work.{peer}", work)
+            for (a, b), bits in sorted(metrics.link_bits.items()):
+                recorder.set_gauge(f"link.bits.{a}-{b}", bits)
             if columnar_base is not None:
                 # Process-wide counters: report this run's delta only.
                 for key, value in columnar_stats().items():
@@ -632,6 +646,8 @@ class StreamSimulator:
         if report is None:
             return
         self._migrations_applied += 1
+        for name in getattr(report, "moved_queries", ()):
+            self._query_migrations[name] = self._query_migrations.get(name, 0) + 1
         recorder = self.recorder
         if recorder.enabled:
             recorder.inc("exec.migrations_applied")
@@ -700,15 +716,17 @@ class StreamSimulator:
 
         return feed
 
-    @staticmethod
     def _gated(
-        gate: _Gate, feed: Callable[[Batch], None]
+        self, name: str, gate: _Gate, feed: Callable[[Batch], None]
     ) -> Callable[[Batch], None]:
+        query_lost = self._query_lost
+
         def gated_feed(batch: Batch) -> None:
             if gate.open:
                 feed(batch)
             else:
                 gate.lost += len(batch)
+                query_lost[name] = query_lost.get(name, 0) + len(batch)
 
         return gated_feed
 
@@ -729,7 +747,7 @@ class StreamSimulator:
             if stream_id not in self._nodes:
                 continue
             if gated_by is not None:
-                feed = self._gated(gated_by, feed)
+                feed = self._gated(name, gated_by, feed)
             self._nodes[stream_id].deliveries.append(feed)
             entries.append((stream_id, feed))
 
@@ -933,13 +951,21 @@ class StreamSimulator:
     # Observability (traced runs only; see DESIGN.md §10)
     # ------------------------------------------------------------------
     def _make_op_timer(self) -> Callable[[PrefixStage, int, float], None]:
-        """Build the per-stage timer handed to the shared-prefix tries."""
+        """Build the per-stage timer handed to the shared-prefix tries.
+
+        The timer records wall-clock latency only.  ``op.*.items``
+        counters are billed from :meth:`_operator_totals` deltas at
+        epoch boundaries instead: timer-side counts bill a shared trie
+        stage once per *evaluation*, which depends on how sibling
+        pipelines land in shard cells — billed totals are partition-
+        invariant, so the sharded executor's merged counters pin equal
+        to this executor's (DESIGN.md §15).
+        """
         recorder = self.recorder
 
         def op_timer(stage: PrefixStage, inputs: int, seconds: float) -> None:
             name = getattr(stage.spec, "name", None) or stage.operator.kind
             recorder.observe(f"op.{name}.batch_s", seconds)
-            recorder.inc(f"op.{name}.items", inputs)
 
         return op_timer
 
@@ -979,6 +1005,12 @@ class StreamSimulator:
         if metrics is None:
             metrics = self._account(self._topological_streams(), self._nodes)
         totals = self._operator_totals()
+        if self.recorder.enabled:
+            previous = self._last_operator_totals or {}
+            for name, count in totals.items():
+                delta = count - previous.get(name, 0)
+                if delta:
+                    self.recorder.inc(f"op.{name}.items", delta)
         snapshot = snapshot_delta(
             self._epoch_index,
             self._epoch_start,
@@ -992,11 +1024,52 @@ class StreamSimulator:
             inflight_peak=self._gauge.take_window_peak(),
         )
         self.recorder.add_epoch(snapshot)
+        if snapshot.inflight_peak > self.batch_size:
+            self._backpressure_epochs += 1
         self._epoch_index += 1
         self._epoch_start = t_end
         self._last_metrics = metrics
         self._last_operator_totals = totals
+        self.last_query_slos = self.query_slos()
         return snapshot
+
+    # ------------------------------------------------------------------
+    # Per-query SLO accounting (DESIGN.md §15)
+    # ------------------------------------------------------------------
+    def query_slos(self) -> List["QuerySLO"]:
+        """One :class:`~repro.obs.slo.QuerySLO` per registered query.
+
+        Pure reads of accumulated counters, so it is safe to call
+        mid-run (the live ``/slo.json`` endpoint does).  The sequential
+        executor delivers inside the producing pump, so ``epoch_lag``
+        and the derived delivery latency are 0; the sharded executor
+        overrides both from the certified plan.
+        """
+        from ..obs.slo import QuerySLO
+
+        slos: List[QuerySLO] = []
+        for name, delivery in self._deliveries.items():
+            if isinstance(delivery, _MultiDelivery):
+                inputs, results = delivery.total_inputs, delivery.results
+            else:
+                inputs = delivery.inputs  # type: ignore[attr-defined]
+                results = delivery.results  # type: ignore[attr-defined]
+            slos.append(
+                QuerySLO(
+                    query=name,
+                    shard=0,
+                    epoch_lag=0,
+                    delivery_latency_s=0.0,
+                    delivered_inputs=inputs,
+                    delivered_results=results,
+                    items_lost=self._query_lost.get(name, 0),
+                    migrations=self._query_migrations.get(name, 0),
+                    backpressure_epochs=self._backpressure_epochs,
+                    queue_peak=self._gauge.peak,
+                    parked=name not in self.deployment.queries,
+                )
+            )
+        return slos
 
     # ------------------------------------------------------------------
     # Metrics replay
@@ -1069,6 +1142,7 @@ class StreamSimulator:
             faults_applied=self._faults_applied,
             items_lost=self._source_items_lost
             + sum(gate.lost for gate in self._gates),
+            items_lost_by_query=self._query_lost,
             recovery_time_s=self._recovery_time_s,
             queries_repaired=self._queries_repaired,
             queries_lost=sum(

@@ -33,6 +33,11 @@ class RunMetrics:
     #: source's home super-peer was down, plus delivered items dropped
     #: while their subscription's recovery was still in progress.
     items_lost: int = 0
+    #: Recovery-gate drops broken down by subscription (queries with no
+    #: drops are omitted, so fault-free runs keep an empty dict).  Sums
+    #: to the gate component of :attr:`items_lost`; feeds the per-query
+    #: SLO records (DESIGN.md §15).
+    items_lost_by_query: Dict[str, int] = field(default_factory=dict)
     #: Total stream time spent recovering (per fault: the slowest
     #: re-registration, capped at the remaining run horizon).
     recovery_time_s: float = 0.0

@@ -49,7 +49,8 @@ from typing import (
 )
 
 from ..network.topology import Network
-from ..obs.recorder import NULL_RECORDER
+from ..obs.merge import SegmentShipper, SegmentStore
+from ..obs.recorder import NULL_RECORDER, Recorder
 from ..obs.timeseries import snapshot_delta
 from ..xmlkit import Element
 from .accounting import DeliveryCounters, RetiredSnapshot, StreamCounters, replay_metrics
@@ -70,6 +71,7 @@ from .metrics import RunMetrics
 if TYPE_CHECKING:  # avoid runtime cycles with repro.sharing / repro.analysis
     from ..analysis.shards import RuntimePartition, ShardPlan
     from ..faults.schedule import FaultSchedule
+    from ..obs.slo import QuerySLO
     from ..sharing.plan import Deployment, InstalledStream, RegisteredQuery
 
 __all__ = ["ShardedSimulator"]
@@ -134,6 +136,7 @@ class _CellRuntime(StreamSimulator):
         max_items_per_source: Optional[int],
         batch_size: int,
         capture_results: bool,
+        recorder: Any = NULL_RECORDER,
     ) -> None:
         self.cell = cell
         self.net = None  # type: ignore[assignment]  # accounting is parent-side
@@ -146,10 +149,20 @@ class _CellRuntime(StreamSimulator):
         self.batch_size = batch_size
         self.schedule = None
         self.repair = None
-        self.recorder = NULL_RECORDER
+        #: Traced runs hand each cell a live recorder pinned to the
+        #: parent's timeline; its state ships back as trace segments
+        #: (:mod:`repro.obs.merge`).  Untraced cells keep the no-op
+        #: singleton and record nothing.
+        self.recorder = recorder
         self.epoch_samples = 0
         self.peak_live_items = 0
-        self._op_timer = None
+        #: Operator batches time into per-operator latency histograms
+        #: (histogram only — item counts are billed parent-side from
+        #: the partition-invariant operator totals, DESIGN.md §15).
+        self._op_timer = self._make_op_timer() if recorder.enabled else None
+        self._shipper = (
+            SegmentShipper(recorder, cell) if recorder.enabled else None
+        )
         # Workers re-resolve REPRO_COLUMNAR from their (inherited)
         # environment, so every cell agrees with the parent's mode.
         self._columnar_mode = columnar_mode()
@@ -183,6 +196,9 @@ class _CellRuntime(StreamSimulator):
         self._source_items_lost = 0
         self._recovery_time_s = 0.0
         self._queries_repaired = 0
+        #: Recovery-gate drops by hosted query (the inherited
+        #: :meth:`StreamSimulator._gated` wrapper fills it in).
+        self._query_lost: Dict[str, int] = {}
 
     def _capture_hook(self, name: str, item: Element) -> None:
         self._captured.setdefault(name, []).append(item)
@@ -210,6 +226,17 @@ class _CellRuntime(StreamSimulator):
 
         ``until`` at or before the sources' clocks makes this an
         exchange-only round — the drain-to-quiescence primitive."""
+        recorder = self.recorder
+        if not recorder.enabled:
+            return self._step(until, inbound, want_state)
+        with recorder.span(
+            "cell.step", until=until, inbound_batches=len(inbound)
+        ):
+            return self._step(until, inbound, want_state)
+
+    def _step(
+        self, until: float, inbound: Sequence[Batch], want_state: bool
+    ) -> Tuple[Dict[int, List[Batch]], Optional[Dict[str, Any]]]:
         gauge = self._gauge
         nodes = self._nodes
         for stream_id, batch in inbound:
@@ -256,28 +283,42 @@ class _CellRuntime(StreamSimulator):
                     delivery.inputs,  # type: ignore[attr-defined]
                     delivery.results,  # type: ignore[attr-defined]
                 )
-        return {
+        state = {
             "counters": counters,
             "retired": list(self._retired),
             "deliveries": deliveries,
             "gate_lost": {
                 gate_id: gate.lost for gate_id, gate in self._cell_gates.items()
             },
+            "query_lost": dict(self._query_lost),
             "source_lost": self._source_items_lost,
             "operator_totals": self._operator_totals(),
             "inflight": self._gauge.current,
             "window_peak": self._gauge.take_window_peak(),
             "peak": self._gauge.peak,
         }
+        if self._shipper is not None:
+            # The trace cut happens last, so everything the barrier's
+            # own work recorded ships with this very state message.
+            state["trace"] = self._shipper.take()
+        return state
 
     def finish_cell(self) -> Dict[str, Any]:
-        for delivery in self._deliveries.values():
-            if isinstance(delivery, _MultiDelivery):
-                delivery.finish()
+        recorder = self.recorder
+        if recorder.enabled:
+            with recorder.span("cell.finish"):
+                self._finish_deliveries()
+        else:
+            self._finish_deliveries()
         self.peak_live_items = self._gauge.peak
         state = self.state()
         state["captured"] = self._captured
         return state
+
+    def _finish_deliveries(self) -> None:
+        for delivery in self._deliveries.values():
+            if isinstance(delivery, _MultiDelivery):
+                delivery.finish()
 
     # ------------------------------------------------------------------
     # Reconcile: apply the parent's plan diff to this cell
@@ -293,6 +334,19 @@ class _CellRuntime(StreamSimulator):
         producing cell's post-drain ``base_count``, reproducing the
         sequential ``duplicate_base`` pin exactly.
         """
+        recorder = self.recorder
+        if recorder.enabled:
+            with recorder.span(
+                "cell.reconcile",
+                stale=len(msg["stale"]),
+                add=len(msg["add"]),
+                rewire=len(msg["rewire"]),
+            ):
+                self._apply_reconcile(msg)
+        else:
+            self._apply_reconcile(msg)
+
+    def _apply_reconcile(self, msg: Dict[str, Any]) -> None:
         nodes = self._nodes
         stale_set = set(msg["stale"])
         stale = [stream_id for stream_id in nodes if stream_id in stale_set]
@@ -360,6 +414,17 @@ class _CellRuntime(StreamSimulator):
 # ----------------------------------------------------------------------
 # Worker backends
 # ----------------------------------------------------------------------
+def _error_payload(exc: BaseException) -> Dict[str, str]:
+    """A worker crash as structured data, so the parent can both raise
+    a readable :class:`ExecutionError` and record a machine-parseable
+    ``cell.error`` trace event (instead of a string-only traceback)."""
+    return {
+        "exc_type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": traceback.format_exc(),
+    }
+
+
 def _worker_main(conn: Any, runtime: _CellRuntime) -> None:
     """The forked worker loop: execute protocol messages until stopped."""
     try:
@@ -372,12 +437,7 @@ def _worker_main(conn: Any, runtime: _CellRuntime) -> None:
                 # A complete message arrived but failed to unpickle;
                 # answer it with the error so the parent can report the
                 # cause instead of a bare "worker died".
-                conn.send(
-                    (
-                        "error",
-                        f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
-                    )
-                )
+                conn.send(("error", _error_payload(exc)))
                 continue
             op = msg[0]
             if op == "stop":
@@ -400,12 +460,7 @@ def _worker_main(conn: Any, runtime: _CellRuntime) -> None:
                     raise ExecutionError(f"unknown worker op {op!r}")
                 conn.send(("ok", payload))
             except BaseException as exc:  # noqa: BLE001 - ship to parent
-                conn.send(
-                    (
-                        "error",
-                        f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
-                    )
-                )
+                conn.send(("error", _error_payload(exc)))
     except EOFError:
         pass
     finally:
@@ -458,9 +513,17 @@ class _ProcessCell:
     diffs) are ever pickled.
     """
 
-    __slots__ = ("_conn", "_proc")
+    __slots__ = ("_conn", "_proc", "_shard", "_recorder")
 
-    def __init__(self, ctx: Any, runtime: _CellRuntime) -> None:
+    def __init__(
+        self,
+        ctx: Any,
+        runtime: _CellRuntime,
+        shard: int = 0,
+        recorder: Any = NULL_RECORDER,
+    ) -> None:
+        self._shard = shard
+        self._recorder = recorder
         self._conn, child = ctx.Pipe()
         self._proc = ctx.Process(
             target=_worker_main, args=(child, runtime), daemon=True
@@ -475,8 +538,25 @@ class _ProcessCell:
         try:
             status, payload = self._conn.recv()
         except EOFError as exc:
+            if self._recorder.enabled:
+                self._recorder.event(
+                    "cell.error",
+                    shard=self._shard,
+                    exc_type="WorkerDied",
+                    message="parallel worker died",
+                    traceback="",
+                )
             raise ExecutionError("parallel worker died") from exc
         if status == "error":
+            if isinstance(payload, dict):
+                if self._recorder.enabled:
+                    self._recorder.event(
+                        "cell.error", shard=self._shard, **payload
+                    )
+                raise ExecutionError(
+                    "parallel worker failed: {exc_type}: {message}\n"
+                    "{traceback}".format(**payload)
+                )
             raise ExecutionError(f"parallel worker failed:\n{payload}")
         return payload
 
@@ -597,6 +677,11 @@ class ShardedSimulator:
         self.exchange_bytes = 0
         self.exchange_pairs: Dict[Tuple[int, int], int] = {}
         self.query_lags: Dict[str, int] = {}
+        #: Latest per-query SLO records (refreshed at every observed
+        #: barrier; the live ``/slo.json`` endpoint reads this without
+        #: a worker round-trip).
+        self.last_query_slos: List["QuerySLO"] = []
+        self._query_migrations: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def run(self) -> RunMetrics:
@@ -611,7 +696,8 @@ class ShardedSimulator:
         if backend == "process":
             ctx = multiprocessing.get_context("fork")
             self._cells: List[Any] = [
-                _ProcessCell(ctx, runtime) for runtime in self._runtimes
+                _ProcessCell(ctx, runtime, shard=index, recorder=self.recorder)
+                for index, runtime in enumerate(self._runtimes)
             ]
         else:
             self._cells = [_InlineCell(runtime) for runtime in self._runtimes]
@@ -651,6 +737,7 @@ class ShardedSimulator:
         self.workers_used = 1
         self.peak_live_items = simulator.peak_live_items
         self.peak_live_items_per_shard = {0: simulator.peak_live_items}
+        self.last_query_slos = simulator.last_query_slos
         return metrics
 
     def _resolve_mode(self) -> str:
@@ -773,6 +860,14 @@ class ShardedSimulator:
                 max_items_per_source=self.max_items,
                 batch_size=self.batch_size,
                 capture_results=self.capture is not None,
+                # Cell recorders are built pre-fork, pinned to the
+                # parent's timeline so shipped span times merge onto
+                # one axis without adjustment.
+                recorder=(
+                    Recorder(origin=self.recorder)
+                    if self.recorder.enabled
+                    else NULL_RECORDER
+                ),
             )
             for index in range(ncells)
         ]
@@ -801,6 +896,16 @@ class ShardedSimulator:
         self._recovery_time_s = 0.0
         self._queries_repaired = 0
         self._migrations_applied = 0
+        self._query_migrations = {}
+        #: Epochs (per cell) whose in-flight window peak exceeded the
+        #: batch size — the SLO backpressure-exposure signal.
+        self._cell_backpressure = [0] * self._ncells
+        #: Cumulative operator totals already billed to ``op.*.items``.
+        self._billed_totals: Optional[Dict[str, int]] = None
+        self._flow_seq = 0
+        self._trace_store = (
+            SegmentStore(self._ncells) if recorder.enabled else None
+        )
         #: Migration gates open at creation (the barrier is quiescent,
         #: make-before-break), so no observed epoch ever counts one
         #: closed — the counter mirrors the sequential executor's.
@@ -875,7 +980,10 @@ class ShardedSimulator:
             if observing and (drain or sampled):
                 states = self._gather(("state",))
                 if recorder.enabled:
+                    self._absorb_traces(states)
+                    self._bill_operator_items(states)
                     self._emit_cell_epochs(boundary, states)
+                self.last_query_slos = self._build_slos(states)
                 # Pure exchange boundaries have no sequential analogue,
                 # so the global epoch series skips them — the detector
                 # must see the exact sequence the sequential run emits.
@@ -908,8 +1016,20 @@ class ShardedSimulator:
         self.peak_live_items = max(
             self.peak_live_items_per_shard.values(), default=0
         )
+        self.last_query_slos = self._build_slos(states)
         if recorder.enabled:
+            self._absorb_traces(states)
+            self._bill_operator_items(states)
             self._emit_final_epochs(states)
+            # One deterministic fold of every cell's shipped trace —
+            # after this, the parent RunLog carries the whole plane.
+            self._trace_store.merge_into(recorder)
+            for slo in self.last_query_slos:
+                recorder.event("query.slo", **slo.to_dict())
+            for peer, work in sorted(metrics.peer_work.items()):
+                recorder.set_gauge(f"peer.work.{peer}", work)
+            for (a, b), bits in sorted(metrics.link_bits.items()):
+                recorder.set_gauge(f"link.bits.{a}-{b}", bits)
         return metrics
 
     def _broadcast(self, msg: Tuple[Any, ...]) -> None:
@@ -933,6 +1053,7 @@ class ShardedSimulator:
         for index, cell in enumerate(self._cells):
             cell.submit(("step", until, pending.get(index, []), False))
         outboxes = [cell.result()[0] for cell in self._cells]
+        recorder = self.recorder
         merged: Dict[int, List[Batch]] = {}
         for src, outbox in enumerate(outboxes):
             for dst in sorted(outbox):
@@ -940,12 +1061,30 @@ class ShardedSimulator:
                 merged.setdefault(dst, []).extend(batches)
                 self.exchange_batches += len(batches)
                 pair = (src, dst)
+                moved = 0
                 for _, batch in batches:
-                    self.exchange_items += len(batch)
-                    self.exchange_pairs[pair] = self.exchange_pairs.get(
-                        pair, 0
-                    ) + len(batch)
+                    moved += len(batch)
                     self.exchange_bytes += batch_bytes(batch)
+                self.exchange_items += moved
+                self.exchange_pairs[pair] = (
+                    self.exchange_pairs.get(pair, 0) + moved
+                )
+                if recorder.enabled:
+                    # One flow per (src, dst) redistribution: the
+                    # Chrome-trace exporter renders it as an s/f arrow
+                    # between the two cells' lanes, visualizing the
+                    # cut-edge hand-off (delivery next round — the
+                    # certified epoch_lag in action).
+                    self._flow_seq += 1
+                    recorder.event(
+                        "exchange.flow",
+                        flow=self._flow_seq,
+                        src=src,
+                        dst=dst,
+                        until=until,
+                        batches=len(batches),
+                        items=moved,
+                    )
         return merged
 
     # ------------------------------------------------------------------
@@ -990,6 +1129,10 @@ class ShardedSimulator:
         if report is None:
             return
         self._migrations_applied += 1
+        for name in getattr(report, "moved_queries", None) or ():
+            self._query_migrations[name] = (
+                self._query_migrations.get(name, 0) + 1
+            )
         if self.recorder.enabled:
             self.recorder.inc("exec.migrations_applied")
         gate_id = self._next_gate_id
@@ -1220,6 +1363,13 @@ class ShardedSimulator:
             for lost in state["gate_lost"].values()
         )
 
+    def _query_lost_merged(self, states: Sequence[Dict[str, Any]]) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for state in states:
+            for name, lost in state.get("query_lost", {}).items():
+                merged[name] = merged.get(name, 0) + lost
+        return merged
+
     def _merge(self, states: Sequence[Dict[str, Any]]) -> RunMetrics:
         return replay_metrics(
             self.net,
@@ -1230,6 +1380,7 @@ class ShardedSimulator:
             self._merged_deliveries(states),
             faults_applied=self._faults_applied,
             items_lost=self._items_lost(states),
+            items_lost_by_query=self._query_lost_merged(states),
             recovery_time_s=self._recovery_time_s,
             queries_repaired=self._queries_repaired,
             queries_lost=sum(
@@ -1251,6 +1402,77 @@ class ShardedSimulator:
             captured = states[self._query_cell[name]].get("captured", {})
             for item in captured.get(name, ()):
                 self.capture(name, item)
+
+    # ------------------------------------------------------------------
+    # Tracing: segment absorption and partition-invariant op billing
+    # ------------------------------------------------------------------
+    def _absorb_traces(self, states: Sequence[Dict[str, Any]]) -> None:
+        for state in states:
+            self._trace_store.absorb(state.get("trace"))
+
+    def _bill_operator_items(self, states: Sequence[Dict[str, Any]]) -> None:
+        """Bill ``op.<name>.items`` from the summed per-cell operator
+        totals, as deltas since the last billing.
+
+        The totals are partition-invariant (each stream's billed stage
+        inputs, independent of how sibling pipelines share tries within
+        a cell), so the final counters equal a sequential traced run's
+        by construction — the trace-merge identity test pins it.
+        """
+        totals: Dict[str, int] = {}
+        for state in states:
+            for name, inputs in state["operator_totals"].items():
+                totals[name] = totals.get(name, 0) + inputs
+        previous = self._billed_totals or {}
+        recorder = self.recorder
+        for name, count in totals.items():
+            delta = count - previous.get(name, 0)
+            if delta:
+                recorder.inc(f"op.{name}.items", delta)
+        self._billed_totals = totals
+
+    # ------------------------------------------------------------------
+    # Per-query SLOs
+    # ------------------------------------------------------------------
+    def _build_slos(self, states: Sequence[Dict[str, Any]]) -> List["QuerySLO"]:
+        """Per-query SLO records from the latest gathered cell states.
+
+        ``delivery_latency_s`` converts the certified epoch lag into
+        worst-case stream time: a cut-crossing item produced right
+        after an exchange barrier waits ``epoch_lag`` full exchange
+        epochs before its delivery step sees it.
+        """
+        from ..obs.slo import QuerySLO
+
+        epoch_width = self.duration / self.exchange_epochs
+        slos: List["QuerySLO"] = []
+        for name in self._records:
+            host = self._query_cell[name]
+            state = states[host]
+            entry = state["deliveries"].get(name)
+            _, inputs, results = entry if entry else (False, 0, 0)
+            lag = self.query_lags.get(name, 0)
+            slos.append(
+                QuerySLO(
+                    query=name,
+                    shard=host,
+                    epoch_lag=lag,
+                    delivery_latency_s=lag * epoch_width,
+                    delivered_inputs=inputs,
+                    delivered_results=results,
+                    items_lost=state.get("query_lost", {}).get(name, 0),
+                    migrations=self._query_migrations.get(name, 0),
+                    backpressure_epochs=self._cell_backpressure[host],
+                    queue_peak=state["peak"],
+                    parked=name not in self.deployment.queries,
+                )
+            )
+        return slos
+
+    def query_slos(self) -> List["QuerySLO"]:
+        """The latest computed SLO records (end-of-run after
+        :meth:`run`; mid-run they reflect the last observed barrier)."""
+        return list(self.last_query_slos)
 
     # ------------------------------------------------------------------
     # Per-shard traced epochs
@@ -1291,6 +1513,7 @@ class ShardedSimulator:
             deliveries,
             faults_applied=self._faults_applied if cell == 0 else 0,
             items_lost=items_lost,
+            items_lost_by_query=state.get("query_lost"),
             recovery_time_s=self._recovery_time_s if cell == 0 else 0.0,
             queries_repaired=self._queries_repaired if cell == 0 else 0,
             queries_lost=sum(
@@ -1326,6 +1549,8 @@ class ShardedSimulator:
         )
         snapshot.shard = cell
         self.recorder.add_epoch(snapshot)
+        if snapshot.inflight_peak > self.batch_size:
+            self._cell_backpressure[cell] += 1
         self._cell_epoch_index[cell] += 1
         self._cell_epoch_start[cell] = t_end
         self._cell_last_metrics[cell] = metrics

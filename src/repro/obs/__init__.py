@@ -13,17 +13,35 @@ those end-of-run totals into inspectable runs:
   executor emits (per-peer work, per-link bits, queue depths,
   per-operator item counts), turning the Fig. 6/7 totals into series
   that show fault/recovery transients.
-* exporters — JSONL event logs, Chrome ``trace_event`` timelines, and
-  Prometheus-style text exposition (:mod:`repro.obs.export`).
-* a CLI — ``python -m repro.obs record|summarize|diff|chrome``
+* exporters — JSONL event logs, Chrome ``trace_event`` timelines
+  (per-shard lanes with cut-edge flow arrows for sharded runs), and
+  Prometheus text exposition with real labels
+  (:mod:`repro.obs.export`).
+* cross-process tracing — worker cells ship trace segments at epoch
+  barriers; :mod:`repro.obs.merge` folds them deterministically into
+  one parent run log (DESIGN.md §15).
+* :class:`QuerySLO` — per-query delivered service levels (delivery,
+  epoch-lag freshness, loss, migrations, backpressure exposure),
+  computed by both executors (:mod:`repro.obs.slo`).
+* :class:`MetricsServer` — live ``/metrics`` / ``/healthz`` /
+  ``/slo.json`` over HTTP while a run executes
+  (:mod:`repro.obs.serve`).
+* a CLI — ``python -m repro.obs record|summarize|diff|chrome|slo|serve``
   (:mod:`repro.obs.cli`).
 
 See DESIGN.md §10 for the architecture, event schema, and the overhead
 budget (the disabled path must stay within 2% of the untraced
-baseline; CI enforces it).
+baseline; CI enforces it), and §15 for distributed tracing and SLOs.
 """
 
-from .recorder import NULL_RECORDER, NullRecorder, Recorder, Span, default_recorder
+from .recorder import (
+    NULL_RECORDER,
+    Histogram,
+    NullRecorder,
+    Recorder,
+    Span,
+    default_recorder,
+)
 from .timeseries import EpochSnapshot, snapshot_delta, sort_epochs
 from .drift import DriftAlert, DriftConfig, DriftDetector
 from .export import (
@@ -33,20 +51,30 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
+from .merge import SegmentShipper, SegmentStore, merge_segment
+from .serve import MetricsServer
+from .slo import QuerySLO, slos_from_events
 
 __all__ = [
     "DriftAlert",
     "DriftConfig",
     "DriftDetector",
     "EpochSnapshot",
+    "Histogram",
+    "MetricsServer",
     "NULL_RECORDER",
     "NullRecorder",
+    "QuerySLO",
     "Recorder",
+    "SegmentShipper",
+    "SegmentStore",
     "Span",
     "chrome_trace",
     "default_recorder",
     "load_jsonl",
+    "merge_segment",
     "prometheus_text",
+    "slos_from_events",
     "snapshot_delta",
     "sort_epochs",
     "write_chrome_trace",

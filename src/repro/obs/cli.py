@@ -10,7 +10,11 @@ Subcommands:
 * ``diff``      — compare two run logs (counters, span totals, epoch
   aggregates);
 * ``chrome``    — convert a JSONL run log into a Chrome ``trace_event``
-  file for chrome://tracing / Perfetto.
+  file for chrome://tracing / Perfetto;
+* ``slo``       — print a run log's per-query SLO table (delivery,
+  freshness/epoch lag, loss, migrations, backpressure exposure);
+* ``serve``     — execute a scenario while serving live ``/metrics``
+  (Prometheus), ``/healthz`` and ``/slo.json`` over HTTP.
 """
 
 from __future__ import annotations
@@ -168,6 +172,77 @@ def _cache_table(counters: Dict[str, float]) -> str:
     return _table(["cache", "hits", "misses", "hit_rate", "invalidations"], rows)
 
 
+def _operator_latency_table(histograms: Dict[str, Dict[str, Any]]) -> Optional[str]:
+    """Operator batch-latency quantiles (ms), global and per shard.
+
+    ``None`` when the run recorded no operator histograms (untraced
+    logs, or logs predating the quantile fields — absent quantiles
+    render as 0)."""
+    rows = []
+    for name, data in sorted(histograms.items()):
+        if not name.startswith("op.") or ".batch_s" not in name:
+            continue
+        rows.append(
+            [
+                name[len("op."):],
+                int(data.get("count", 0)),
+                data.get("mean", 0.0) * 1e3,
+                data.get("p50", 0.0) * 1e3,
+                data.get("p95", 0.0) * 1e3,
+                data.get("p99", 0.0) * 1e3,
+                data.get("max", 0.0) * 1e3,
+            ]
+        )
+    if not rows:
+        return None
+    return _table(
+        ["operator", "batches", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms"],
+        rows,
+    )
+
+
+def _slo_table(log: RunLog) -> Optional[str]:
+    """The per-query SLO table, or ``None`` for logs without
+    ``query.slo`` events."""
+    from .slo import slos_from_events
+
+    slos = slos_from_events(log.events)
+    if not slos:
+        return None
+    rows = [
+        [
+            s.query,
+            s.shard,
+            s.epoch_lag,
+            s.delivery_latency_s,
+            s.delivered_inputs,
+            s.delivered_results,
+            s.items_lost,
+            s.migrations,
+            s.backpressure_epochs,
+            s.queue_peak,
+            "yes" if s.parked else "-",
+        ]
+        for s in slos
+    ]
+    return _table(
+        [
+            "query",
+            "shard",
+            "lag",
+            "latency_s",
+            "inputs",
+            "results",
+            "lost",
+            "moved",
+            "bp_epochs",
+            "q_peak",
+            "parked",
+        ],
+        rows,
+    )
+
+
 def _columnar_table(counters: Dict[str, float]) -> Optional[str]:
     """Columnar-engine counter table, or ``None`` when the run never
     touched the columnar path (tree-only runs print nothing)."""
@@ -200,6 +275,16 @@ def summarize(log: RunLog, out: Any = None) -> None:
 
     w("\n== control plane: planner span timings ==\n")
     w(_span_timing_table(log) + "\n")
+
+    latency = _operator_latency_table(log.histograms)
+    if latency is not None:
+        w("\n== data plane: operator batch latency ==\n")
+        w(latency + "\n")
+
+    slo = _slo_table(log)
+    if slo is not None:
+        w("\n== per-query SLOs ==\n")
+        w(slo + "\n")
 
     w("\n== caches ==\n")
     w(_cache_table(log.counters) + "\n")
@@ -311,7 +396,9 @@ def record(args: argparse.Namespace) -> None:
 
     scenario = _build_scenario(args.scenario)
     recorder = Recorder()
-    run = run_scenario(scenario, args.strategy, recorder=recorder)
+    run = run_scenario(
+        scenario, args.strategy, recorder=recorder, workers=args.workers
+    )
     extra = {
         "scenario": scenario.name,
         "strategy": args.strategy,
@@ -319,6 +406,10 @@ def record(args: argparse.Namespace) -> None:
         "queries_accepted": run.accepted,
         "queries_rejected": run.rejected,
     }
+    if args.workers:
+        simulator = run.system.last_simulator
+        extra["workers"] = getattr(simulator, "workers_used", 1)
+        extra["parallel_mode"] = getattr(simulator, "mode_used", "sequential")
     write_jsonl(recorder, args.out, net=run.system.net, extra=extra)
     print(f"wrote {args.out} ({len(recorder.spans)} spans, "
           f"{len(recorder.epochs)} epochs, {len(recorder.events)} events)")
@@ -329,8 +420,82 @@ def record(args: argparse.Namespace) -> None:
         from .export import prometheus_text
 
         with open(args.prom, "w", encoding="utf-8") as handle:
-            handle.write(prometheus_text(recorder))
+            handle.write(prometheus_text(recorder, compat=args.prom_compat))
         print(f"wrote {args.prom}")
+
+
+# ----------------------------------------------------------------------
+# slo / serve
+# ----------------------------------------------------------------------
+def slo(args: argparse.Namespace) -> None:
+    log = load_jsonl(args.run)
+    table = _slo_table(log)
+    if table is None:
+        print("(no query.slo events in this run log — record a traced run first)")
+        return
+    print(table)
+
+
+def serve(args: argparse.Namespace) -> None:
+    """Execute a scenario while serving live metrics over HTTP.
+
+    The server thread reads lock-free recorder snapshots, so scraping
+    ``/metrics`` mid-run never blocks (or perturbs) the executor; the
+    ``/slo.json`` records refresh at every observed epoch barrier.
+    """
+    from ..sharing.system import StreamGlobe
+    from .serve import MetricsServer
+
+    scenario = _build_scenario(args.scenario)
+    recorder = Recorder()
+    system = StreamGlobe(
+        scenario.build_network(), strategy=args.strategy, recorder=recorder
+    )
+
+    def slo_provider() -> List[Any]:
+        simulator = getattr(system, "last_simulator", None)
+        return getattr(simulator, "last_query_slos", [])
+
+    server = MetricsServer(
+        recorder,
+        slo_provider=slo_provider,
+        host=args.host,
+        port=args.port,
+        prom_compat=args.prom_compat,
+    )
+    server.start()
+    print(f"serving {server.url}/metrics  /healthz  /slo.json")
+    try:
+        for source in scenario.sources:
+            system.register_stream(
+                source.name,
+                "photons/photon",
+                source.generator_factory(),
+                frequency=source.frequency,
+                source_peer=source.source_peer,
+            )
+        for spec in scenario.queries:
+            system.register_query(spec.name, spec.text, spec.subscriber_peer)
+        for round_index in range(args.repeat):
+            metrics = system.run(
+                scenario.duration,
+                faults=scenario.faults if round_index == 0 else None,
+                workers=args.workers,
+            )
+            print(
+                f"run {round_index + 1}/{args.repeat} done: "
+                f"{sum(metrics.items_delivered.values())} items delivered, "
+                f"{len(server.slo_records())} query SLOs live"
+            )
+        if args.hold > 0:
+            print(f"holding the endpoints open for {args.hold:.0f}s (Ctrl-C to stop)")
+            import time as _time
+
+            _time.sleep(args.hold)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.stop()
 
 
 # ----------------------------------------------------------------------
@@ -346,11 +511,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p.add_argument("--scenario", default="churn",
                    help="churn | churn-smoke | one | grid (default: churn)")
     p.add_argument("--strategy", default="stream-sharing")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="execute on the sharded data plane with N worker "
+                        "cells (traces merge into one run log)")
     p.add_argument("-o", "--out", default="RUN.jsonl")
     p.add_argument("--chrome", default=None, metavar="TRACE.json",
                    help="also write a Chrome trace_event file")
     p.add_argument("--prom", default=None, metavar="METRICS.txt",
                    help="also write a Prometheus text snapshot")
+    p.add_argument("--prom-compat", action="store_true",
+                   help="render the Prometheus snapshot with the legacy "
+                        "label-free metric names")
 
     p = sub.add_parser("summarize", help="print series, span timings and cache rates")
     p.add_argument("run", metavar="RUN.jsonl")
@@ -363,6 +534,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p.add_argument("run", metavar="RUN.jsonl")
     p.add_argument("-o", "--out", default="trace.json")
 
+    p = sub.add_parser("slo", help="print a run log's per-query SLO table")
+    p.add_argument("run", metavar="RUN.jsonl")
+
+    p = sub.add_parser(
+        "serve",
+        help="execute a scenario while serving live /metrics, /healthz "
+             "and /slo.json",
+    )
+    p.add_argument("--scenario", default="churn",
+                   help="churn | churn-smoke | one | grid (default: churn)")
+    p.add_argument("--strategy", default="stream-sharing")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="execute on the sharded data plane with N worker cells")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=9464,
+                   help="HTTP port (0 picks an ephemeral port; default 9464)")
+    p.add_argument("--repeat", type=int, default=1, metavar="N",
+                   help="execute the scenario N times back to back "
+                        "(longer scrape window)")
+    p.add_argument("--hold", type=float, default=0.0, metavar="SECONDS",
+                   help="keep the endpoints up this long after the last run")
+    p.add_argument("--prom-compat", action="store_true",
+                   help="serve /metrics with the legacy label-free names")
+
     args = parser.parse_args(argv)
     if args.command == "record":
         record(args)
@@ -374,6 +569,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         log = load_jsonl(args.run)
         write_chrome_trace(log, args.out)
         print(f"wrote {args.out}")
+    elif args.command == "slo":
+        slo(args)
+    elif args.command == "serve":
+        serve(args)
     return 0
 
 

@@ -25,8 +25,9 @@ Line schema (``type`` → payload):
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field
-from typing import IO, Any, Dict, List, Optional
+from typing import IO, Any, Dict, List, Optional, Tuple
 
 from .recorder import Recorder
 from .timeseries import EpochSnapshot, sort_epochs
@@ -157,20 +158,36 @@ def load_jsonl(path: str) -> RunLog:
 # ----------------------------------------------------------------------
 # Chrome trace_event
 # ----------------------------------------------------------------------
+#: Worker-cell spans render on per-shard lanes at ``tid = _SHARD_TID0
+#: + shard``; the control plane keeps ``tid`` 1.
+_SHARD_TID0 = 10
+
+
+def _span_tid(span: Dict[str, Any]) -> int:
+    shard = span.get("attrs", {}).get("shard")
+    return 1 if shard is None else _SHARD_TID0 + int(shard)
+
+
 def chrome_trace(source: Any) -> Dict[str, Any]:
     """Convert a :class:`Recorder` or :class:`RunLog` into a Chrome trace.
 
-    Spans become complete (``"ph": "X"``) duration events on the
-    control-plane track; epoch snapshots become counter (``"ph": "C"``)
-    series (total CPU %, total kbps, in-flight items) placed at their
-    wall-clock emission times, so the data-plane series line up with
-    the control-plane spans on one timeline.
+    Spans become complete (``"ph": "X"``) duration events — on the
+    control-plane track, or on a per-shard lane when they carry a
+    ``shard`` attribute (merged worker-cell trace segments do); epoch
+    snapshots become counter (``"ph": "C"``) series (total CPU %,
+    total kbps, in-flight items) placed at their wall-clock emission
+    times, so the data-plane series line up with the control-plane
+    spans on one timeline.  ``exchange.flow`` events become flow-arrow
+    pairs (``"s"``/``"f"``) from the producing shard's lane to the
+    consuming shard's — the cut-edge hand-offs of the sharded plane.
     """
     if isinstance(source, Recorder):
         spans = [span.to_dict() for span in source.spans]
+        events = source.events
         epochs = source.epochs
     else:
         spans = source.spans
+        events = source.events
         epochs = source.epochs
     trace_events: List[Dict[str, Any]] = [
         {
@@ -187,6 +204,29 @@ def chrome_trace(source: Any) -> Dict[str, Any]:
             "args": {"name": "control-plane"},
         },
     ]
+    shards = sorted(
+        {
+            span["attrs"]["shard"]
+            for span in spans
+            if span.get("attrs", {}).get("shard") is not None
+        }
+        | {
+            field
+            for event in events
+            if event["name"] == "exchange.flow"
+            for field in (event["fields"]["src"], event["fields"]["dst"])
+        }
+    )
+    for shard in shards:
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": _SHARD_TID0 + int(shard),
+                "args": {"name": f"shard {shard}"},
+            }
+        )
     for span in spans:
         if span.get("t1") is None:
             continue
@@ -195,10 +235,44 @@ def chrome_trace(source: Any) -> Dict[str, Any]:
                 "name": span["name"],
                 "ph": "X",
                 "pid": 1,
-                "tid": 1,
+                "tid": _span_tid(span),
                 "ts": span["t0"] * 1e6,
                 "dur": (span["t1"] - span["t0"]) * 1e6,
                 "args": span.get("attrs", {}),
+            }
+        )
+    for event in events:
+        if event["name"] != "exchange.flow":
+            continue
+        fields = event["fields"]
+        ts = event["t"] * 1e6
+        flow_id = int(fields.get("flow", 0))
+        args = {"items": fields.get("items"), "batches": fields.get("batches")}
+        trace_events.append(
+            {
+                "name": "exchange",
+                "cat": "exchange",
+                "ph": "s",
+                "pid": 1,
+                "tid": _SHARD_TID0 + int(fields["src"]),
+                "ts": ts,
+                "id": flow_id,
+                "args": args,
+            }
+        )
+        trace_events.append(
+            {
+                "name": "exchange",
+                "cat": "exchange",
+                "ph": "f",
+                "bp": "e",
+                "pid": 1,
+                "tid": _SHARD_TID0 + int(fields["dst"]),
+                # Strictly later than the start so viewers draw the
+                # arrow left-to-right even for same-instant records.
+                "ts": ts + 1.0,
+                "id": flow_id,
+                "args": args,
             }
         )
     for epoch in epochs:
@@ -234,28 +308,111 @@ def _prom_name(name: str) -> str:
     return f"repro_{cleaned}"
 
 
-def prometheus_text(recorder: Recorder) -> str:
-    """Render counters, gauges and histograms in exposition format."""
+#: Dotted-name → labeled-series patterns, first match wins.  Metric
+#: families whose dotted names encode a dimension (shard, exchange
+#: pair, operator, peer, link) render as one Prometheus metric with
+#: real labels; anything unmatched keeps the flat mangled name, so
+#: plain series (``cache.route.hits`` …) are identical in both modes.
+_LABEL_PATTERNS: List[Tuple["re.Pattern[str]", str, Tuple[str, ...]]] = []
+
+
+def _compile_label_patterns() -> None:
+    _LABEL_PATTERNS.extend(
+        (re.compile(pattern), metric, labels)
+        for pattern, metric, labels in (
+            (
+                r"^exchange\.cell(\d+)->cell(\d+)\.items$",
+                "repro_exchange_pair_items_total",
+                ("src_shard", "dst_shard"),
+            ),
+            (
+                r"^exec\.peak_live_items\.shard(\d+)$",
+                "repro_exec_peak_live_items",
+                ("shard",),
+            ),
+            (r"^op\.([A-Za-z0-9_]+)\.items$", "repro_op_items_total", ("op",)),
+            (
+                r"^op\.([A-Za-z0-9_]+)\.batch_s\.shard(\d+)$",
+                "repro_op_batch_seconds",
+                ("op", "shard"),
+            ),
+            (
+                r"^op\.([A-Za-z0-9_]+)\.batch_s$",
+                "repro_op_batch_seconds",
+                ("op",),
+            ),
+            (r"^peer\.work\.(.+)$", "repro_peer_work", ("peer",)),
+            (r"^link\.bits\.(.+)-(.+)$", "repro_link_bits", ("a", "b")),
+        )
+    )
+
+
+_compile_label_patterns()
+
+
+def _prom_series(name: str, compat: bool) -> Tuple[str, Dict[str, str]]:
+    """Map a dotted metric name to ``(prometheus metric, labels)``."""
+    if not compat:
+        for pattern, metric, label_names in _LABEL_PATTERNS:
+            match = pattern.match(name)
+            if match:
+                return metric, dict(zip(label_names, match.groups()))
+    return _prom_name(name), {}
+
+
+def _label_suffix(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{key}="{value}"' for key, value in labels.items()]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(recorder: Recorder, compat: bool = False) -> str:
+    """Render counters, gauges and histograms in exposition format.
+
+    ``compat=True`` reproduces the historical label-free rendering
+    (every dotted name mangled into one flat metric); the default
+    folds the dimensional name families into labeled series — e.g.
+    ``exchange.cell0->cell1.items`` becomes
+    ``repro_exchange_pair_items_total{src_shard="0",dst_shard="1"}``
+    and per-shard operator histograms become
+    ``repro_op_batch_seconds{op=...,shard=...}`` series of one metric.
+    """
+    from .recorder import HISTOGRAM_BUCKETS
+
     lines: List[str] = []
+    typed: set = set()
+
+    def emit_type(metric: str, kind: str) -> None:
+        # One TYPE header per metric family, even when several dotted
+        # names (label combinations) fold into it.
+        if metric not in typed:
+            typed.add(metric)
+            lines.append(f"# TYPE {metric} {kind}")
+
     for name in sorted(recorder.counters):
-        metric = _prom_name(name)
-        lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {recorder.counters[name]}")
+        metric, labels = _prom_series(name, compat)
+        emit_type(metric, "counter")
+        lines.append(
+            f"{metric}{_label_suffix(labels)} {recorder.counters[name]}"
+        )
     for name in sorted(recorder.gauges):
-        metric = _prom_name(name)
-        lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {recorder.gauges[name]}")
+        metric, labels = _prom_series(name, compat)
+        emit_type(metric, "gauge")
+        lines.append(
+            f"{metric}{_label_suffix(labels)} {recorder.gauges[name]}"
+        )
     for name in sorted(recorder.histograms):
         hist = recorder.histograms[name]
-        metric = _prom_name(name)
-        lines.append(f"# TYPE {metric} histogram")
-        from .recorder import HISTOGRAM_BUCKETS
-
+        metric, labels = _prom_series(name, compat)
+        emit_type(metric, "histogram")
         cumulative = 0
         for bound, count in zip(HISTOGRAM_BUCKETS, hist.buckets):
             cumulative += count
-            lines.append(f'{metric}_bucket{{le="{bound:g}"}} {cumulative}')
-        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.count}')
-        lines.append(f"{metric}_sum {hist.total}")
-        lines.append(f"{metric}_count {hist.count}")
+            suffix = _label_suffix(labels, f'le="{bound:g}"')
+            lines.append(f"{metric}_bucket{suffix} {cumulative}")
+        suffix = _label_suffix(labels, 'le="+Inf"')
+        lines.append(f"{metric}_bucket{suffix} {hist.count}")
+        lines.append(f"{metric}_sum{_label_suffix(labels)} {hist.total}")
+        lines.append(f"{metric}_count{_label_suffix(labels)} {hist.count}")
     return "\n".join(lines) + "\n"

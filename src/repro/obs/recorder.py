@@ -96,6 +96,56 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) from the bucket counts.
+
+        Linear interpolation inside the winning bucket, clamped to the
+        observed min/max so the estimate never leaves the data's actual
+        range (the geometric ladder's bucket edges can be orders of
+        magnitude away from the observations within).
+        """
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.buckets):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= rank:
+                lo = HISTOGRAM_BUCKETS[index - 1] if index > 0 else 0.0
+                hi = (
+                    HISTOGRAM_BUCKETS[index]
+                    if index < len(HISTOGRAM_BUCKETS)
+                    else self.max
+                )
+                fraction = (rank - cumulative) / bucket_count
+                estimate = lo + (hi - lo) * fraction
+                return min(max(estimate, self.min), self.max)
+            cumulative += bucket_count
+        return self.max
+
+    def copy(self) -> "Histogram":
+        """An independent snapshot (lock-free: bucket list copied whole)."""
+        clone = Histogram()
+        clone.count = self.count
+        clone.total = self.total
+        clone.min = self.min
+        clone.max = self.max
+        clone.buckets = list(self.buckets)
+        return clone
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one."""
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            if other.min < self.min:
+                self.min = other.min
+            if other.max > self.max:
+                self.max = other.max
+        for index, bucket_count in enumerate(other.buckets):
+            self.buckets[index] += bucket_count
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "count": self.count,
@@ -103,8 +153,22 @@ class Histogram:
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
             "mean": self.mean(),
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
             "buckets": list(self.buckets),
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Histogram":
+        hist = cls()
+        hist.count = data["count"]
+        hist.total = data["sum"]
+        if hist.count:
+            hist.min = data["min"]
+            hist.max = data["max"]
+        hist.buckets = list(data["buckets"])
+        return hist
 
 
 class Span:
@@ -163,6 +227,21 @@ class Span:
             "t1": self.end_s,
             "attrs": self.attrs,
         }
+
+    @classmethod
+    def from_dict(cls, recorder: "Recorder", data: Dict[str, Any]) -> "Span":
+        """Rehydrate a completed span record (the trace-segment merge:
+        span ids are rewritten by the caller, times are already on the
+        destination recorder's timeline)."""
+        span = cls.__new__(cls)
+        span._recorder = recorder
+        span.span_id = data["id"]
+        span.parent_id = data["parent"]
+        span.name = data["name"]
+        span.start_s = data["t0"]
+        span.end_s = data["t1"]
+        span.attrs = dict(data.get("attrs") or {})
+        return span
 
 
 class _NullSpan:
@@ -230,9 +309,18 @@ class Recorder:
 
     enabled = True
 
-    def __init__(self) -> None:
-        self.created_unix = _created_unix()
-        self._t0 = time.perf_counter()
+    def __init__(self, origin: Optional["Recorder"] = None) -> None:
+        """``origin`` pins this recorder to another recorder's timeline:
+        ``now()`` and ``created_unix`` agree with it, so spans recorded
+        here (e.g. inside a forked worker cell — ``perf_counter`` is
+        CLOCK_MONOTONIC, shared across fork on Linux) land on the same
+        axis when trace segments are merged back."""
+        if origin is not None:
+            self.created_unix = origin.created_unix
+            self._t0 = origin._t0
+        else:
+            self.created_unix = _created_unix()
+            self._t0 = time.perf_counter()
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
         self.histograms: Dict[str, Histogram] = {}
@@ -289,6 +377,26 @@ class Recorder:
             index = self._open.index(span)
             del self._open[index:]
         self.spans.append(span)
+
+    def snapshot(self) -> "Recorder":
+        """A consistent point-in-time copy for concurrent readers.
+
+        Built from whole-dict/list copies (atomic under the GIL), so a
+        serving thread can render ``/metrics`` while the run loop keeps
+        appending — no locks on the hot path.  Histograms are deep-
+        copied (their bucket lists mutate in place); spans, events and
+        epochs are shared references to already-immutable records.
+        """
+        clone = Recorder(origin=self)
+        clone.counters = dict(self.counters)
+        clone.gauges = dict(self.gauges)
+        clone.histograms = {
+            name: hist.copy() for name, hist in dict(self.histograms).items()
+        }
+        clone.spans = list(self.spans)
+        clone.events = list(self.events)
+        clone.epochs = list(self.epochs)
+        return clone
 
     def span_totals(self) -> Dict[str, Dict[str, float]]:
         """Aggregate completed spans by name: count, total and max seconds."""

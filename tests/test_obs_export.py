@@ -124,9 +124,46 @@ class TestPrometheusText:
         text = prometheus_text(recorder)
         counts = []
         for line in text.splitlines():
-            if line.startswith("repro_op_select_batch_s_bucket"):
+            if line.startswith('repro_op_batch_seconds_bucket{op="select"'):
                 counts.append(int(line.rsplit(" ", 1)[1]))
         assert len(counts) == len(HISTOGRAM_BUCKETS) + 1
         assert counts == sorted(counts)  # monotone
         assert counts[-1] == 2  # +Inf bucket sees every observation
-        assert "repro_op_select_batch_s_count 2" in text
+        assert 'repro_op_batch_seconds_count{op="select"} 2' in text
+
+    def test_labeled_series(self, recorder):
+        recorder.inc("exchange.cell0->cell1.items", 803)
+        recorder.inc("op.selection.items", 42)
+        recorder.set_gauge("exec.peak_live_items.shard1", 9)
+        recorder.set_gauge("peer.work.SP0", 3.5)
+        recorder.set_gauge("link.bits.SP0-SP1", 128.0)
+        text = prometheus_text(recorder)
+        assert (
+            'repro_exchange_pair_items_total'
+            '{src_shard="0",dst_shard="1"} 803' in text
+        )
+        assert 'repro_op_items_total{op="selection"} 42' in text
+        assert 'repro_exec_peak_live_items{shard="1"} 9' in text
+        assert 'repro_peer_work{peer="SP0"} 3.5' in text
+        assert 'repro_link_bits{a="SP0",b="SP1"} 128' in text
+        # One TYPE line per family even with many labeled series.
+        recorder.inc("exchange.cell1->cell0.items", 7)
+        text = prometheus_text(recorder)
+        type_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("# TYPE repro_exchange_pair_items_total ")
+        ]
+        assert len(type_lines) == 1
+
+    def test_compat_flag_restores_mangled_names(self, recorder):
+        recorder.inc("exchange.cell0->cell1.items", 803)
+        text = prometheus_text(recorder, compat=True)
+        assert "repro_exchange_cell0__cell1_items 803" in text
+        # Only the mandatory histogram `le` label survives in compat.
+        labeled = [
+            line for line in text.splitlines()
+            if "{" in line and 'le="' not in line
+        ]
+        assert labeled == []
+        assert "repro_op_select_batch_s_count 1" in text

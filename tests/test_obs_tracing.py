@@ -8,8 +8,6 @@ Also pins two behavioral guarantees of the instrumentation layer:
   ``Network.version`` bumps (the churn APIs), never otherwise.
 """
 
-import os
-
 import pytest
 
 from repro.bench.harness import run_scenario
@@ -163,12 +161,10 @@ class TestTracedEqualsUntraced:
         assert traced.metrics.items_delivered == plain.metrics.items_delivered
         assert traced.metrics.items_generated == plain.metrics.items_generated
 
-    @pytest.mark.skipif(
-        bool(os.environ.get("REPRO_PARALLEL")),
-        reason="shard cells do not emit per-operator latency histograms "
-        "(DESIGN.md §12 caveats)",
-    )
     def test_operator_histograms_observed(self):
+        # Runs under REPRO_PARALLEL too: traced shard cells now ship
+        # their operator histograms back at epoch barriers and the
+        # parent merges them (DESIGN.md §15).
         scenario = scenario_one(query_count=4)
         scenario.duration = 6.0
         recorder = Recorder()
